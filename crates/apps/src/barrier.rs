@@ -1,0 +1,128 @@
+//! Distributed barriers built from a CAS-incremented counter key.
+//!
+//! Each participant atomically increments the counter with a CAS
+//! (read-expect-increment); the barrier is passed when the counter reaches the
+//! participant count. Coordination services expose exactly this pattern, and
+//! it exercises the CAS retry loop under contention.
+
+use netchain_core::KvOp;
+use netchain_wire::{Key, QueryStatus};
+
+/// A barrier over `parties` participants using the given key.
+#[derive(Debug, Clone, Copy)]
+pub struct Barrier {
+    key: Key,
+    parties: u64,
+}
+
+/// What a participant should do after a CAS attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierStep {
+    /// The increment succeeded; wait (poll) until the counter reaches the
+    /// participant count.
+    Arrived {
+        /// The counter value after this participant's increment.
+        count: u64,
+    },
+    /// The CAS lost a race; retry with the returned current value.
+    Retry {
+        /// The value currently stored.
+        current: u64,
+    },
+    /// The barrier key is not installed.
+    Missing,
+}
+
+impl Barrier {
+    /// Creates a barrier on `name` for `parties` participants.
+    pub fn new(name: &str, parties: u64) -> Self {
+        Barrier {
+            key: Key::from_name(&format!("barrier/{name}")),
+            parties,
+        }
+    }
+
+    /// The underlying key (must be pre-installed with value 0).
+    pub fn key(&self) -> Key {
+        self.key
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> u64 {
+        self.parties
+    }
+
+    /// The CAS that registers arrival given the last observed counter value.
+    pub fn arrive_op(&self, observed: u64) -> KvOp {
+        KvOp::Cas {
+            key: self.key,
+            expected: observed,
+            new: observed + 1,
+        }
+    }
+
+    /// The read used to poll the counter while waiting for stragglers.
+    pub fn poll_op(&self) -> KvOp {
+        KvOp::Read(self.key)
+    }
+
+    /// Decodes the reply to an [`Barrier::arrive_op`].
+    pub fn decode_arrival(&self, status: QueryStatus, value: Option<u64>, attempted: u64) -> BarrierStep {
+        match status {
+            QueryStatus::Ok => BarrierStep::Arrived { count: attempted + 1 },
+            QueryStatus::CasFailed => BarrierStep::Retry {
+                current: value.unwrap_or(0),
+            },
+            QueryStatus::NotFound => BarrierStep::Missing,
+            _ => BarrierStep::Retry { current: attempted },
+        }
+    }
+
+    /// True once the observed counter value opens the barrier.
+    pub fn is_open(&self, observed: u64) -> bool {
+        observed >= self.parties
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrive_and_poll_ops() {
+        let barrier = Barrier::new("epoch-1", 3);
+        match barrier.arrive_op(2) {
+            KvOp::Cas { expected, new, key } => {
+                assert_eq!((expected, new), (2, 3));
+                assert_eq!(key, barrier.key());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(barrier.poll_op(), KvOp::Read(_)));
+        assert_eq!(barrier.parties(), 3);
+    }
+
+    #[test]
+    fn decode_and_open() {
+        let barrier = Barrier::new("b", 2);
+        assert_eq!(
+            barrier.decode_arrival(QueryStatus::Ok, None, 0),
+            BarrierStep::Arrived { count: 1 }
+        );
+        assert_eq!(
+            barrier.decode_arrival(QueryStatus::CasFailed, Some(1), 0),
+            BarrierStep::Retry { current: 1 }
+        );
+        assert_eq!(
+            barrier.decode_arrival(QueryStatus::NotFound, None, 0),
+            BarrierStep::Missing
+        );
+        assert!(!barrier.is_open(1));
+        assert!(barrier.is_open(2));
+    }
+
+    #[test]
+    fn distinct_barriers_use_distinct_keys() {
+        assert_ne!(Barrier::new("a", 2).key(), Barrier::new("b", 2).key());
+    }
+}

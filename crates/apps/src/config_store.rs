@@ -1,0 +1,92 @@
+//! A small typed configuration store: named parameters mapped onto NetChain
+//! keys — the "configuration management" use case of coordination services.
+
+use netchain_core::KvOp;
+use netchain_wire::{Key, Value};
+
+/// A namespaced configuration store facade. It owns no transport — it builds
+/// operations for whatever client issues them (simulated, loopback or test)
+/// and decodes the returned values.
+#[derive(Debug, Clone)]
+pub struct ConfigStore {
+    namespace: String,
+}
+
+impl ConfigStore {
+    /// Creates a store under `namespace` (e.g. `"cluster-a"`).
+    pub fn new(namespace: impl Into<String>) -> Self {
+        ConfigStore {
+            namespace: namespace.into(),
+        }
+    }
+
+    /// The key a parameter name maps to.
+    pub fn key_for(&self, name: &str) -> Key {
+        Key::from_name(&format!("{}/{}", self.namespace, name))
+    }
+
+    /// Operation reading parameter `name`.
+    pub fn get(&self, name: &str) -> KvOp {
+        KvOp::Read(self.key_for(name))
+    }
+
+    /// Operation setting parameter `name` to a string value.
+    ///
+    /// # Panics
+    /// Panics if the encoded value exceeds the maximum value size — callers
+    /// own the size budget for configuration strings.
+    pub fn set_str(&self, name: &str, value: &str) -> KvOp {
+        let value = Value::new(value.as_bytes().to_vec())
+            .expect("configuration values must fit the value-size limit");
+        KvOp::Write(self.key_for(name), value)
+    }
+
+    /// Operation setting parameter `name` to an integer value.
+    pub fn set_u64(&self, name: &str, value: u64) -> KvOp {
+        KvOp::Write(self.key_for(name), Value::from_u64(value))
+    }
+
+    /// Operation deleting parameter `name`.
+    pub fn unset(&self, name: &str) -> KvOp {
+        KvOp::Delete(self.key_for(name))
+    }
+
+    /// Decodes a returned value as a string.
+    pub fn decode_str(value: &Value) -> Option<String> {
+        String::from_utf8(value.as_bytes().to_vec()).ok()
+    }
+
+    /// Decodes a returned value as an integer.
+    pub fn decode_u64(value: &Value) -> Option<u64> {
+        value.as_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_map_to_stable_distinct_keys() {
+        let store = ConfigStore::new("cluster-a");
+        assert_eq!(store.key_for("timeout"), store.key_for("timeout"));
+        assert_ne!(store.key_for("timeout"), store.key_for("retries"));
+        let other = ConfigStore::new("cluster-b");
+        assert_ne!(store.key_for("timeout"), other.key_for("timeout"));
+    }
+
+    #[test]
+    fn ops_roundtrip_values() {
+        let store = ConfigStore::new("ns");
+        match store.set_str("mode", "fast") {
+            KvOp::Write(_, v) => assert_eq!(ConfigStore::decode_str(&v).as_deref(), Some("fast")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match store.set_u64("replicas", 3) {
+            KvOp::Write(_, v) => assert_eq!(ConfigStore::decode_u64(&v), Some(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(store.get("mode"), KvOp::Read(_)));
+        assert!(matches!(store.unset("mode"), KvOp::Delete(_)));
+    }
+}

@@ -1,0 +1,139 @@
+//! Workload-shaping helpers shared by the experiment harness: key popularity
+//! distributions and read/write mixes.
+
+use netchain_wire::Key;
+
+/// How keys are drawn from the key space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform {
+        /// Number of keys.
+        keys: u64,
+    },
+    /// Zipfian popularity with the given skew (θ ≈ 0.99 is the YCSB default).
+    /// Coordination workloads are typically highly skewed — a few hot
+    /// configuration entries and locks.
+    Zipf {
+        /// Number of keys.
+        keys: u64,
+        /// Skew parameter (larger = more skew).
+        theta: f64,
+    },
+}
+
+impl KeyDistribution {
+    /// Number of distinct keys in the space.
+    pub fn num_keys(&self) -> u64 {
+        match *self {
+            KeyDistribution::Uniform { keys } | KeyDistribution::Zipf { keys, .. } => keys,
+        }
+    }
+
+    /// Draws a key index from the distribution given two uniform `[0,1)`
+    /// samples (callers supply randomness so simulations stay deterministic).
+    pub fn sample(&self, u: f64) -> u64 {
+        match *self {
+            KeyDistribution::Uniform { keys } => {
+                ((u * keys as f64) as u64).min(keys.saturating_sub(1))
+            }
+            KeyDistribution::Zipf { keys, theta } => {
+                // Inverse-CDF approximation of a Zipf distribution via the
+                // bounded Pareto transform. Accurate enough for workload
+                // shaping; exactness is not required.
+                let n = keys as f64;
+                let s = 1.0 - theta.clamp(0.0, 0.999_999);
+                let x = ((n.powf(s) - 1.0) * u + 1.0).powf(1.0 / s);
+                (x as u64).clamp(1, keys) - 1
+            }
+        }
+    }
+
+    /// Draws a [`Key`] from the distribution.
+    pub fn sample_key(&self, u: f64) -> Key {
+        Key::from_u64(self.sample(u))
+    }
+}
+
+/// A read/write operation mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Fraction of operations that are writes, in `[0, 1]`.
+    pub write_ratio: f64,
+}
+
+impl OpMix {
+    /// A read-only mix.
+    pub fn read_only() -> Self {
+        OpMix { write_ratio: 0.0 }
+    }
+
+    /// A write-only mix.
+    pub fn write_only() -> Self {
+        OpMix { write_ratio: 1.0 }
+    }
+
+    /// The paper's default mix: 1 % writes.
+    pub fn default_one_percent() -> Self {
+        OpMix { write_ratio: 0.01 }
+    }
+
+    /// Decides whether an operation is a write given a uniform sample.
+    pub fn is_write(&self, u: f64) -> bool {
+        u < self.write_ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sampling_stays_in_range() {
+        let dist = KeyDistribution::Uniform { keys: 100 };
+        assert_eq!(dist.num_keys(), 100);
+        for i in 0..100 {
+            let u = i as f64 / 100.0;
+            assert!(dist.sample(u) < 100);
+        }
+        assert_eq!(dist.sample(0.0), 0);
+        assert_eq!(dist.sample(0.999), 99);
+    }
+
+    #[test]
+    fn zipf_is_skewed_towards_small_indices() {
+        let dist = KeyDistribution::Zipf {
+            keys: 1000,
+            theta: 0.99,
+        };
+        // Low u values map to the most popular (smallest) keys.
+        assert!(dist.sample(0.01) < dist.sample(0.99));
+        let mut low = 0;
+        for i in 0..1000 {
+            let u = (i as f64 + 0.5) / 1000.0;
+            if dist.sample(u) < 10 {
+                low += 1;
+            }
+        }
+        assert!(
+            low > 300,
+            "a heavily skewed zipf should hit the top-10 keys often, got {low}/1000"
+        );
+        assert!(dist.sample(0.999_999) < 1000);
+    }
+
+    #[test]
+    fn op_mix_thresholds() {
+        assert!(!OpMix::read_only().is_write(0.0));
+        assert!(OpMix::write_only().is_write(0.999));
+        let mix = OpMix::default_one_percent();
+        assert!(mix.is_write(0.005));
+        assert!(!mix.is_write(0.02));
+    }
+
+    #[test]
+    fn sample_key_matches_sample() {
+        let dist = KeyDistribution::Uniform { keys: 10 };
+        assert_eq!(dist.sample_key(0.35), Key::from_u64(dist.sample(0.35)));
+    }
+}

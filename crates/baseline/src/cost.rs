@@ -1,0 +1,106 @@
+//! Server cost model.
+//!
+//! A coordination server spends CPU and kernel time on every request it
+//! touches: socket reads, deserialisation, transaction logging, quorum
+//! bookkeeping, and the reply path. These per-request service times are what
+//! bound a server-based system's throughput (the workload is
+//! communication-heavy, §2.1), and they are the quantities this model
+//! captures.
+//!
+//! The default numbers are **calibrated to the paper's own measurements** of
+//! Apache ZooKeeper 3.5.2 on three 16-core servers (§8.1–§8.2):
+//!
+//! * read-only throughput ≈ 230 KQPS over three servers → ≈ 13 µs of
+//!   per-server service time per read;
+//! * write-only throughput ≈ 27 KQPS → ≈ 37 µs of leader service time per
+//!   write (plus the quorum round);
+//! * read latency ≈ 170 µs and write latency ≈ 2350 µs at low load → fixed
+//!   client-stack plus commit overheads.
+//!
+//! They are deliberately exposed as plain fields so experiments can sweep or
+//! ablate them.
+
+use netchain_sim::SimDuration;
+
+/// Per-request service times for a baseline coordination server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerCostModel {
+    /// CPU/IO time a server spends serving one read locally.
+    pub read_service: SimDuration,
+    /// CPU/IO time the leader spends per write (proposal creation, logging,
+    /// commit bookkeeping, reply).
+    pub leader_write_service: SimDuration,
+    /// CPU/IO time a follower spends per write (logging + ack).
+    pub follower_write_service: SimDuration,
+    /// Fixed client-side stack overhead added to every request (kernel
+    /// socket path on the client machine; NetChain avoids this with DPDK).
+    pub client_overhead: SimDuration,
+    /// Fixed extra latency of the commit path (fsync/batching delays) added
+    /// to writes beyond the quorum round trips.
+    pub commit_overhead: SimDuration,
+}
+
+impl Default for ServerCostModel {
+    fn default() -> Self {
+        Self::zookeeper_calibrated()
+    }
+}
+
+impl ServerCostModel {
+    /// The ZooKeeper-3.5.2 calibration described in the module docs.
+    pub fn zookeeper_calibrated() -> Self {
+        ServerCostModel {
+            read_service: SimDuration::from_micros(13),
+            leader_write_service: SimDuration::from_micros(37),
+            follower_write_service: SimDuration::from_micros(15),
+            client_overhead: SimDuration::from_micros(150),
+            commit_overhead: SimDuration::from_micros(2200),
+        }
+    }
+
+    /// An idealised fast server (for ablations: how much of the gap is
+    /// protocol structure vs server speed).
+    pub fn fast_server() -> Self {
+        ServerCostModel {
+            read_service: SimDuration::from_micros(2),
+            leader_write_service: SimDuration::from_micros(5),
+            follower_write_service: SimDuration::from_micros(2),
+            client_overhead: SimDuration::from_micros(10),
+            commit_overhead: SimDuration::from_micros(20),
+        }
+    }
+
+    /// Theoretical read-only saturation throughput of `servers` servers, in
+    /// queries per second.
+    pub fn max_read_qps(&self, servers: usize) -> f64 {
+        servers as f64 / self.read_service.as_secs_f64()
+    }
+
+    /// Theoretical write-only saturation throughput (leader bound), in
+    /// queries per second.
+    pub fn max_write_qps(&self) -> f64 {
+        1.0 / self.leader_write_service.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_paper_order_of_magnitude() {
+        let model = ServerCostModel::zookeeper_calibrated();
+        let reads = model.max_read_qps(3);
+        let writes = model.max_write_qps();
+        assert!((200_000.0..300_000.0).contains(&reads), "read cap {reads}");
+        assert!((20_000.0..40_000.0).contains(&writes), "write cap {writes}");
+    }
+
+    #[test]
+    fn fast_server_is_faster() {
+        let zk = ServerCostModel::zookeeper_calibrated();
+        let fast = ServerCostModel::fast_server();
+        assert!(fast.max_read_qps(3) > zk.max_read_qps(3));
+        assert!(fast.max_write_qps() > zk.max_write_qps());
+    }
+}

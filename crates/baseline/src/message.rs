@@ -1,0 +1,270 @@
+//! Messages exchanged in the baseline system: application-level requests,
+//! replies and replication traffic, all carried inside reliable-transport
+//! segments.
+
+use netchain_sim::Message;
+use std::collections::BTreeMap;
+
+/// Operations the baseline key-value store supports. Keys and values are kept
+//  /// as compact integers/bytes: the baseline only needs enough fidelity for the
+/// comparison workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZkOp {
+    /// Read the value of a key.
+    Read {
+        /// The key.
+        key: u64,
+    },
+    /// Write the value of a key (creates it if absent).
+    Write {
+        /// The key.
+        key: u64,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Create an ephemeral node if absent — the ZooKeeper idiom for acquiring
+    /// an exclusive lock (§8.5). Fails if the key already exists.
+    Create {
+        /// The key (lock name).
+        key: u64,
+        /// Owner id stored in the node.
+        owner: u64,
+    },
+    /// Delete a key — releasing a lock.
+    Delete {
+        /// The key.
+        key: u64,
+    },
+}
+
+impl ZkOp {
+    /// True for operations that must go through the leader and the quorum.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, ZkOp::Read { .. })
+    }
+
+    /// The key the operation touches.
+    pub fn key(&self) -> u64 {
+        match self {
+            ZkOp::Read { key }
+            | ZkOp::Write { key, .. }
+            | ZkOp::Create { key, .. }
+            | ZkOp::Delete { key } => *key,
+        }
+    }
+
+    /// Approximate serialized size in bytes (for link accounting).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            ZkOp::Read { .. } | ZkOp::Delete { .. } => 24,
+            ZkOp::Create { .. } => 32,
+            ZkOp::Write { value, .. } => 24 + value.len(),
+        }
+    }
+}
+
+/// The outcome of a baseline operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZkResult {
+    /// Success; reads carry the value.
+    Ok(Option<Vec<u8>>),
+    /// The key does not exist.
+    NotFound,
+    /// A `Create` found the key already present (lock already held).
+    AlreadyExists,
+}
+
+impl ZkResult {
+    /// True for `Ok`.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ZkResult::Ok(_))
+    }
+}
+
+/// Application messages carried inside transport segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppMsg {
+    /// Client → server request.
+    Request {
+        /// Client-assigned id echoed in the reply.
+        request_id: u64,
+        /// The operation.
+        op: ZkOp,
+    },
+    /// Server → client reply.
+    Reply {
+        /// Echoed request id.
+        request_id: u64,
+        /// The outcome.
+        result: ZkResult,
+    },
+    /// Leader → follower proposal (ZAB "PROPOSE").
+    Propose {
+        /// Transaction id (monotone at the leader).
+        zxid: u64,
+        /// The write being replicated.
+        op: ZkOp,
+    },
+    /// Follower → leader acknowledgement (ZAB "ACK").
+    Ack {
+        /// The acknowledged transaction.
+        zxid: u64,
+    },
+    /// Leader → follower commit (ZAB "COMMIT").
+    Commit {
+        /// The committed transaction.
+        zxid: u64,
+    },
+}
+
+impl AppMsg {
+    /// Approximate serialized size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            AppMsg::Request { op, .. } => 24 + op.wire_size(),
+            AppMsg::Reply { result, .. } => {
+                24 + match result {
+                    ZkResult::Ok(Some(v)) => v.len(),
+                    _ => 0,
+                }
+            }
+            AppMsg::Propose { op, .. } => 24 + op.wire_size(),
+            AppMsg::Ack { .. } | AppMsg::Commit { .. } => 20,
+        }
+    }
+}
+
+/// One reliable-transport segment: either carries an application message with
+/// a sequence number, or is a pure acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Sequence number of the carried payload (meaningless for pure acks).
+    pub seq: u64,
+    /// Cumulative acknowledgement: all sequence numbers `< ack` received.
+    pub ack: u64,
+    /// The payload, if this is a data segment.
+    pub payload: Option<AppMsg>,
+}
+
+impl Segment {
+    /// Approximate on-wire size (TCP/IP-like 60-byte header overhead plus the
+    /// payload).
+    pub fn wire_size(&self) -> usize {
+        60 + self.payload.as_ref().map_or(0, AppMsg::wire_size)
+    }
+}
+
+/// The message type of the baseline simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineMsg {
+    /// A transport segment between two endpoints.
+    Segment(Segment),
+}
+
+impl Message for BaselineMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            BaselineMsg::Segment(s) => s.wire_size(),
+        }
+    }
+}
+
+/// A tiny in-memory key-value store with ZooKeeper-flavoured semantics,
+/// shared by the servers.
+#[derive(Debug, Clone, Default)]
+pub struct ZkStore {
+    entries: BTreeMap<u64, Vec<u8>>,
+}
+
+impl ZkStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys present.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Applies a committed write operation.
+    pub fn apply(&mut self, op: &ZkOp) -> ZkResult {
+        match op {
+            ZkOp::Read { key } => match self.entries.get(key) {
+                Some(v) => ZkResult::Ok(Some(v.clone())),
+                None => ZkResult::NotFound,
+            },
+            ZkOp::Write { key, value } => {
+                self.entries.insert(*key, value.clone());
+                ZkResult::Ok(None)
+            }
+            ZkOp::Create { key, owner } => {
+                if self.entries.contains_key(key) {
+                    ZkResult::AlreadyExists
+                } else {
+                    self.entries.insert(*key, owner.to_be_bytes().to_vec());
+                    ZkResult::Ok(None)
+                }
+            }
+            ZkOp::Delete { key } => {
+                if self.entries.remove(key).is_some() {
+                    ZkResult::Ok(None)
+                } else {
+                    ZkResult::NotFound
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classification_and_sizes() {
+        assert!(!ZkOp::Read { key: 1 }.is_write());
+        assert!(ZkOp::Write { key: 1, value: vec![0; 8] }.is_write());
+        assert!(ZkOp::Create { key: 1, owner: 2 }.is_write());
+        assert!(ZkOp::Delete { key: 1 }.is_write());
+        assert_eq!(ZkOp::Read { key: 1 }.key(), 1);
+        assert!(ZkOp::Write { key: 1, value: vec![0; 64] }.wire_size() > 64);
+        let seg = Segment {
+            seq: 0,
+            ack: 0,
+            payload: Some(AppMsg::Ack { zxid: 1 }),
+        };
+        assert_eq!(BaselineMsg::Segment(seg).wire_size(), 80);
+    }
+
+    #[test]
+    fn store_semantics() {
+        let mut store = ZkStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.apply(&ZkOp::Read { key: 1 }), ZkResult::NotFound);
+        assert_eq!(
+            store.apply(&ZkOp::Write { key: 1, value: vec![9] }),
+            ZkResult::Ok(None)
+        );
+        assert_eq!(
+            store.apply(&ZkOp::Read { key: 1 }),
+            ZkResult::Ok(Some(vec![9]))
+        );
+        // Create-if-absent behaves like a lock.
+        assert_eq!(store.apply(&ZkOp::Create { key: 2, owner: 7 }), ZkResult::Ok(None));
+        assert_eq!(
+            store.apply(&ZkOp::Create { key: 2, owner: 8 }),
+            ZkResult::AlreadyExists
+        );
+        assert_eq!(store.apply(&ZkOp::Delete { key: 2 }), ZkResult::Ok(None));
+        assert_eq!(store.apply(&ZkOp::Delete { key: 2 }), ZkResult::NotFound);
+        assert_eq!(store.len(), 1);
+        assert!(ZkResult::Ok(None).is_ok());
+        assert!(!ZkResult::NotFound.is_ok());
+    }
+}

@@ -1,0 +1,203 @@
+//! A reliable, in-order transport emulation (the role TCP plays for the real
+//! ZooKeeper): cumulative acknowledgements, retransmission on timeout, and
+//! in-order delivery with buffering of out-of-order arrivals.
+//!
+//! This is intentionally not a TCP implementation — no congestion control, no
+//! flow control — because the effect the comparison needs is narrower: under
+//! packet loss, a reliable transport stalls on retransmission timeouts, while
+//! NetChain's UDP-plus-client-retry design keeps flowing (Figure 9(d)).
+
+use crate::message::{AppMsg, Segment};
+use netchain_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// One direction pair of a reliable connection between two endpoints.
+#[derive(Debug, Clone)]
+pub struct Connection {
+    /// Next sequence number to assign to outgoing data.
+    next_seq: u64,
+    /// Unacknowledged outgoing segments, keyed by sequence number.
+    unacked: BTreeMap<u64, (AppMsg, SimTime)>,
+    /// Next sequence number expected from the peer.
+    expected: u64,
+    /// Out-of-order segments buffered until the gap fills.
+    reorder: BTreeMap<u64, AppMsg>,
+    /// Retransmission timeout.
+    rto: SimDuration,
+    /// Retransmissions performed (diagnostics).
+    pub retransmissions: u64,
+}
+
+impl Connection {
+    /// Creates a connection with the given retransmission timeout.
+    pub fn new(rto: SimDuration) -> Self {
+        Connection {
+            next_seq: 0,
+            unacked: BTreeMap::new(),
+            expected: 0,
+            reorder: BTreeMap::new(),
+            rto,
+            retransmissions: 0,
+        }
+    }
+
+    /// A connection with a 2 ms RTO — aggressive for TCP, generous for a
+    /// datacenter RTT, so the baseline is if anything flattered.
+    pub fn datacenter() -> Self {
+        Self::new(SimDuration::from_millis(2))
+    }
+
+    /// Number of segments awaiting acknowledgement.
+    pub fn in_flight(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Queues `msg` for reliable delivery and returns the segment to
+    /// transmit now.
+    pub fn send(&mut self, now: SimTime, msg: AppMsg) -> Segment {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.unacked.insert(seq, (msg.clone(), now));
+        Segment {
+            seq,
+            ack: self.expected,
+            payload: Some(msg),
+        }
+    }
+
+    /// Processes an incoming segment. Returns the application messages that
+    /// became deliverable in order, plus an acknowledgement segment to send
+    /// back if the segment carried data.
+    pub fn on_segment(&mut self, segment: Segment) -> (Vec<AppMsg>, Option<Segment>) {
+        // Cumulative ack: everything below `ack` is delivered at the peer.
+        let acked: Vec<u64> = self
+            .unacked
+            .range(..segment.ack)
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in acked {
+            self.unacked.remove(&seq);
+        }
+
+        let mut delivered = Vec::new();
+        let mut ack_needed = false;
+        if let Some(payload) = segment.payload {
+            ack_needed = true;
+            if segment.seq >= self.expected {
+                self.reorder.insert(segment.seq, payload);
+            }
+            // Drain the contiguous prefix.
+            while let Some(msg) = self.reorder.remove(&self.expected) {
+                delivered.push(msg);
+                self.expected += 1;
+            }
+        }
+        let ack = if ack_needed {
+            Some(Segment {
+                seq: 0,
+                ack: self.expected,
+                payload: None,
+            })
+        } else {
+            None
+        };
+        (delivered, ack)
+    }
+
+    /// Returns segments whose retransmission timeout expired, refreshing
+    /// their timers.
+    pub fn poll_retransmits(&mut self, now: SimTime) -> Vec<Segment> {
+        let mut out = Vec::new();
+        for (&seq, (msg, sent_at)) in self.unacked.iter_mut() {
+            if now.since(*sent_at) >= self.rto {
+                *sent_at = now;
+                self.retransmissions += 1;
+                out.push(Segment {
+                    seq,
+                    ack: self.expected,
+                    payload: Some(msg.clone()),
+                });
+            }
+        }
+        out
+    }
+
+    /// The earliest instant at which a retransmission could be due.
+    pub fn next_retransmit_deadline(&self) -> Option<SimTime> {
+        self.unacked
+            .values()
+            .map(|(_, sent_at)| *sent_at + self.rto)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(id: u64) -> AppMsg {
+        AppMsg::Ack { zxid: id }
+    }
+
+    #[test]
+    fn in_order_delivery_and_acks() {
+        let mut a = Connection::datacenter();
+        let mut b = Connection::datacenter();
+        let s1 = a.send(SimTime::ZERO, msg(1));
+        let s2 = a.send(SimTime::ZERO, msg(2));
+        let (d1, ack1) = b.on_segment(s1);
+        assert_eq!(d1, vec![msg(1)]);
+        let (d2, _ack2) = b.on_segment(s2);
+        assert_eq!(d2, vec![msg(2)]);
+        // Ack flows back and clears the sender's buffer.
+        assert_eq!(a.in_flight(), 2);
+        let (none, no_ack) = a.on_segment(ack1.unwrap());
+        assert!(none.is_empty());
+        assert!(no_ack.is_none());
+        assert_eq!(a.in_flight(), 1);
+    }
+
+    #[test]
+    fn out_of_order_segments_are_reordered() {
+        let mut a = Connection::datacenter();
+        let mut b = Connection::datacenter();
+        let s1 = a.send(SimTime::ZERO, msg(1));
+        let s2 = a.send(SimTime::ZERO, msg(2));
+        let s3 = a.send(SimTime::ZERO, msg(3));
+        let (d, _) = b.on_segment(s3);
+        assert!(d.is_empty(), "gap not yet filled");
+        let (d, _) = b.on_segment(s1);
+        assert_eq!(d, vec![msg(1)]);
+        let (d, _) = b.on_segment(s2);
+        assert_eq!(d, vec![msg(2), msg(3)]);
+    }
+
+    #[test]
+    fn duplicate_segments_deliver_once() {
+        let mut a = Connection::datacenter();
+        let mut b = Connection::datacenter();
+        let s1 = a.send(SimTime::ZERO, msg(1));
+        let (d, _) = b.on_segment(s1.clone());
+        assert_eq!(d.len(), 1);
+        let (d, ack) = b.on_segment(s1);
+        assert!(d.is_empty(), "duplicate must not deliver twice");
+        assert!(ack.is_some(), "duplicates still elicit an ack");
+    }
+
+    #[test]
+    fn lost_segments_are_retransmitted_after_rto() {
+        let mut a = Connection::new(SimDuration::from_millis(2));
+        let _lost = a.send(SimTime::ZERO, msg(7));
+        assert!(a.poll_retransmits(SimTime::ZERO + SimDuration::from_millis(1)).is_empty());
+        let retx = a.poll_retransmits(SimTime::ZERO + SimDuration::from_millis(2));
+        assert_eq!(retx.len(), 1);
+        assert_eq!(retx[0].payload, Some(msg(7)));
+        assert_eq!(a.retransmissions, 1);
+        // The timer refreshes, so an immediate re-poll is quiet.
+        assert!(a.poll_retransmits(SimTime::ZERO + SimDuration::from_millis(2)).is_empty());
+        assert_eq!(
+            a.next_retransmit_deadline(),
+            Some(SimTime::ZERO + SimDuration::from_millis(4))
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! The baseline coordination server: a ZAB-style leader/follower replica.
+//!
+//! Reads are served locally by whichever server the client contacted. Writes
+//! are sent to the leader, which assigns a transaction id, proposes to the
+//! followers, commits once a majority has acknowledged, and replies to the
+//! client. Every request costs server CPU time ([`ServerCostModel`]), modelled
+//! by a single busy-until queue per server — the same first-order model that
+//! explains why ZooKeeper saturates at a couple hundred KQPS while a switch
+//! ASIC does billions.
+
+use crate::cost::ServerCostModel;
+use crate::message::{AppMsg, BaselineMsg, ZkOp, ZkResult, ZkStore};
+use crate::rtx::Connection;
+use netchain_sim::{Context, Node, NodeId, SimDuration, SimTime, TimerToken};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+const TIMER_RETX: TimerToken = 1;
+const TIMER_DEFER: TimerToken = 2;
+
+#[derive(Debug)]
+struct PendingWrite {
+    client: NodeId,
+    request_id: u64,
+    op: ZkOp,
+    acks: HashSet<NodeId>,
+    committed: bool,
+}
+
+/// Counters kept by a server.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Read requests served locally.
+    pub reads: u64,
+    /// Write requests sequenced (leader only).
+    pub writes: u64,
+    /// Proposals applied as a follower.
+    pub proposals: u64,
+    /// Commits completed (leader only).
+    pub commits: u64,
+    /// Requests rejected because a follower received a write.
+    pub misrouted_writes: u64,
+}
+
+/// A baseline (ZooKeeper-like) server node.
+pub struct ZkServer {
+    is_leader: bool,
+    leader: NodeId,
+    peers: Vec<NodeId>,
+    quorum: usize,
+    cost: ServerCostModel,
+    store: ZkStore,
+    conns: HashMap<NodeId, Connection>,
+    busy_until: SimTime,
+    next_zxid: u64,
+    pending: HashMap<u64, PendingWrite>,
+    deferred: Vec<(SimTime, NodeId, AppMsg)>,
+    stats: ServerStats,
+}
+
+impl ZkServer {
+    /// Creates a server.
+    ///
+    /// `peers` are the *other* servers of the ensemble; `leader` is the node
+    /// id of the leader (possibly this node); `ensemble_size` determines the
+    /// majority quorum.
+    pub fn new(
+        self_is_leader: bool,
+        leader: NodeId,
+        peers: Vec<NodeId>,
+        ensemble_size: usize,
+        cost: ServerCostModel,
+    ) -> Self {
+        ZkServer {
+            is_leader: self_is_leader,
+            leader,
+            peers,
+            quorum: ensemble_size / 2 + 1,
+            cost,
+            store: ZkStore::new(),
+            conns: HashMap::new(),
+            busy_until: SimTime::ZERO,
+            next_zxid: 1,
+            pending: HashMap::new(),
+            deferred: Vec::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Number of keys currently stored.
+    pub fn store_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Pre-populates the store (experiment setup).
+    pub fn populate(&mut self, key: u64, value: Vec<u8>) {
+        self.store.apply(&ZkOp::Write { key, value });
+    }
+
+    fn occupy(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        let start = self.busy_until.max(now);
+        self.busy_until = start + service;
+        self.busy_until
+    }
+
+    fn transmit(&mut self, to: NodeId, msg: AppMsg, ctx: &mut Context<BaselineMsg>) {
+        let conn = self.conns.entry(to).or_insert_with(Connection::datacenter);
+        let segment = conn.send(ctx.now(), msg);
+        ctx.send(to, BaselineMsg::Segment(segment));
+    }
+
+    fn defer(&mut self, at: SimTime, to: NodeId, msg: AppMsg, ctx: &mut Context<BaselineMsg>) {
+        self.deferred.push((at, to, msg));
+        ctx.set_timer(at.since(ctx.now()), TIMER_DEFER);
+    }
+
+    fn flush_deferred(&mut self, ctx: &mut Context<BaselineMsg>) {
+        let now = ctx.now();
+        let mut due = Vec::new();
+        self.deferred.retain(|(at, to, msg)| {
+            if *at <= now {
+                due.push((*to, msg.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        for (to, msg) in due {
+            self.transmit(to, msg, ctx);
+        }
+    }
+
+    fn handle_app(&mut self, from: NodeId, msg: AppMsg, ctx: &mut Context<BaselineMsg>) {
+        let now = ctx.now();
+        match msg {
+            AppMsg::Request { request_id, op } if !op.is_write() => {
+                self.stats.reads += 1;
+                let done_at = self.occupy(now, self.cost.read_service);
+                let result = self.store.apply(&op);
+                self.defer(done_at, from, AppMsg::Reply { request_id, result }, ctx);
+            }
+            AppMsg::Request { request_id, op } => {
+                if !self.is_leader {
+                    // Clients address writes to the leader; a write landing on
+                    // a follower is a client bug in this model.
+                    self.stats.misrouted_writes += 1;
+                    self.transmit(
+                        from,
+                        AppMsg::Reply {
+                            request_id,
+                            result: ZkResult::NotFound,
+                        },
+                        ctx,
+                    );
+                    return;
+                }
+                self.stats.writes += 1;
+                let zxid = self.next_zxid;
+                self.next_zxid += 1;
+                self.pending.insert(
+                    zxid,
+                    PendingWrite {
+                        client: from,
+                        request_id,
+                        op: op.clone(),
+                        acks: HashSet::new(),
+                        committed: false,
+                    },
+                );
+                let done_at = self.occupy(now, self.cost.leader_write_service);
+                for peer in self.peers.clone() {
+                    self.defer(done_at, peer, AppMsg::Propose { zxid, op: op.clone() }, ctx);
+                }
+                // A single-server "ensemble" commits immediately.
+                if self.quorum <= 1 {
+                    self.commit(zxid, ctx);
+                }
+            }
+            AppMsg::Propose { zxid, op } => {
+                self.stats.proposals += 1;
+                let done_at = self.occupy(now, self.cost.follower_write_service);
+                self.store.apply(&op);
+                self.defer(done_at, self.leader, AppMsg::Ack { zxid }, ctx);
+            }
+            AppMsg::Ack { zxid } => {
+                let quorum = self.quorum;
+                let ready = {
+                    let Some(pending) = self.pending.get_mut(&zxid) else {
+                        return;
+                    };
+                    pending.acks.insert(from);
+                    // The leader's own copy counts towards the quorum.
+                    !pending.committed && pending.acks.len() + 1 >= quorum
+                };
+                if ready {
+                    self.commit(zxid, ctx);
+                }
+            }
+            AppMsg::Commit { .. } => {
+                // Followers already applied at proposal time in this model.
+            }
+            AppMsg::Reply { .. } => {
+                // Servers do not receive replies.
+            }
+        }
+    }
+
+    fn commit(&mut self, zxid: u64, ctx: &mut Context<BaselineMsg>) {
+        let Some(pending) = self.pending.get_mut(&zxid) else {
+            return;
+        };
+        pending.committed = true;
+        let client = pending.client;
+        let request_id = pending.request_id;
+        let op = pending.op.clone();
+        self.stats.commits += 1;
+        let result = self.store.apply(&op);
+        let reply_at = ctx.now() + self.cost.commit_overhead;
+        for peer in self.peers.clone() {
+            self.defer(reply_at, peer, AppMsg::Commit { zxid }, ctx);
+        }
+        self.defer(reply_at, client, AppMsg::Reply { request_id, result }, ctx);
+        self.pending.remove(&zxid);
+    }
+}
+
+impl Node<BaselineMsg> for ZkServer {
+    fn on_start(&mut self, ctx: &mut Context<BaselineMsg>) {
+        ctx.set_timer(SimDuration::from_millis(1), TIMER_RETX);
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<BaselineMsg>) {
+        match token {
+            TIMER_RETX => {
+                let now = ctx.now();
+                let mut to_send = Vec::new();
+                for (&peer, conn) in self.conns.iter_mut() {
+                    for segment in conn.poll_retransmits(now) {
+                        to_send.push((peer, segment));
+                    }
+                }
+                for (peer, segment) in to_send {
+                    ctx.send(peer, BaselineMsg::Segment(segment));
+                }
+                ctx.set_timer(SimDuration::from_millis(1), TIMER_RETX);
+            }
+            TIMER_DEFER => self.flush_deferred(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: BaselineMsg, ctx: &mut Context<BaselineMsg>) {
+        let BaselineMsg::Segment(segment) = msg;
+        let conn = self
+            .conns
+            .entry(from)
+            .or_insert_with(Connection::datacenter);
+        let (delivered, ack) = conn.on_segment(segment);
+        if let Some(ack) = ack {
+            ctx.send(from, BaselineMsg::Segment(ack));
+        }
+        for app in delivered {
+            self.handle_app(from, app, ctx);
+        }
+    }
+
+    fn name(&self) -> String {
+        if self.is_leader {
+            "zk-leader".to_string()
+        } else {
+            "zk-follower".to_string()
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_math() {
+        let s = ZkServer::new(
+            true,
+            NodeId(0),
+            vec![NodeId(1), NodeId(2)],
+            3,
+            ServerCostModel::default(),
+        );
+        assert_eq!(s.quorum, 2);
+        let s5 = ZkServer::new(
+            true,
+            NodeId(0),
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)],
+            5,
+            ServerCostModel::default(),
+        );
+        assert_eq!(s5.quorum, 3);
+    }
+
+    #[test]
+    fn populate_and_store_len() {
+        let mut s = ZkServer::new(true, NodeId(0), vec![], 1, ServerCostModel::default());
+        s.populate(1, vec![1, 2, 3]);
+        s.populate(2, vec![4]);
+        assert_eq!(s.store_len(), 2);
+    }
+}

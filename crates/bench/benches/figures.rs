@@ -1,0 +1,53 @@
+//! Reduced-size versions of the figure reproductions, so `cargo bench`
+//! exercises every experiment path end to end and tracks regressions in the
+//! time it takes to regenerate them.
+use criterion::{criterion_group, criterion_main, Criterion};
+use netchain_experiments::{fig10, fig11, fig9};
+use netchain_sim::SimDuration;
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("figures/fig9a_capacity_model", |b| {
+        b.iter(|| fig9::fig9a(&[0, 64, 128]))
+    });
+    c.bench_function("figures/fig9c_write_ratio_sweep", |b| {
+        b.iter(|| fig9::fig9c(&[0.0, 0.5, 1.0]))
+    });
+    c.bench_function("figures/fig9f_scalability_small", |b| {
+        b.iter(|| fig9::fig9f(&[6, 12]))
+    });
+    c.bench_function("figures/fig9d_loss_small_sim", |b| {
+        b.iter(|| fig9::fig9d(&[0.01], SimDuration::from_millis(20)))
+    });
+    c.bench_function("figures/fig10_failover_small_sim", |b| {
+        b.iter(|| {
+            fig10::fig10(fig10::Fig10Params {
+                virtual_groups: 10,
+                offered_qps: 1_000.0,
+                fail_at: SimDuration::from_secs(1),
+                recovery_delay: SimDuration::from_secs(1),
+                sync_duration: SimDuration::from_secs(4),
+                total: SimDuration::from_secs(8),
+            })
+        })
+    });
+    c.bench_function("figures/fig11_txn_small_sim", |b| {
+        b.iter(|| {
+            fig11::netchain_txn_throughput(
+                4,
+                0.01,
+                fig11::Fig11Params {
+                    duration: SimDuration::from_millis(20),
+                    locks_per_txn: 4,
+                    cold_items: 200,
+                },
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

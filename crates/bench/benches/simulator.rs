@@ -1,0 +1,28 @@
+//! End-to-end simulator throughput: how many simulated NetChain queries per
+//! wall-clock second the discrete-event engine sustains on the testbed.
+use criterion::{criterion_group, criterion_main, Criterion};
+use netchain_core::{ClusterConfig, KvOp, NetChainCluster};
+use netchain_sim::SimDuration;
+use netchain_wire::{Key, Value};
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("simulator/1000_scripted_writes_testbed", |b| {
+        b.iter(|| {
+            let mut cluster = NetChainCluster::testbed(ClusterConfig::default());
+            cluster.populate_key(Key::from_name("bench"), &Value::from_u64(0));
+            let script: Vec<KvOp> = (0..1000)
+                .map(|i| KvOp::Write(Key::from_name("bench"), Value::from_u64(i)))
+                .collect();
+            cluster.install_scripted_client(0, script);
+            cluster.sim.run_for(SimDuration::from_secs(1));
+            assert!(cluster.scripted_client(0).unwrap().is_done());
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Per-packet cost of the NetChain switch program: reads, head writes,
+//! replica writes and CAS, on a store of realistic size.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netchain_switch::{NetChainSwitch, PipelineConfig};
+use netchain_wire::{ChainList, Ipv4Addr, Key, NetChainPacket, OpCode, Value};
+
+fn loaded_switch() -> NetChainSwitch {
+    let mut sw = NetChainSwitch::new(Ipv4Addr::for_switch(0), PipelineConfig::tofino_prototype());
+    for i in 0..10_000u64 {
+        sw.kv_mut()
+            .insert(Key::from_u64(i), &Value::from_u64(i))
+            .unwrap();
+    }
+    sw
+}
+
+fn query(op: OpCode, seq: u64) -> NetChainPacket {
+    let mut pkt = NetChainPacket::query(
+        Ipv4Addr::for_host(0),
+        40000,
+        Ipv4Addr::for_switch(0),
+        op,
+        Key::from_u64(42),
+        Value::filled(0xab, 64).unwrap(),
+        ChainList::new(vec![Ipv4Addr::for_switch(1)]).unwrap(),
+        1,
+    );
+    pkt.netchain.seq = seq;
+    pkt
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let mut sw = loaded_switch();
+    let read = query(OpCode::Read, 0);
+    c.bench_function("switch/read", |b| {
+        b.iter(|| sw.handle(black_box(read.clone())))
+    });
+    let head_write = query(OpCode::Write, 0);
+    c.bench_function("switch/head_write", |b| {
+        b.iter(|| sw.handle(black_box(head_write.clone())))
+    });
+    c.bench_function("switch/replica_write_monotone_seq", |b| {
+        let mut seq = 1u64;
+        b.iter(|| {
+            seq += 1;
+            sw.handle(black_box(query(OpCode::Write, seq)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_switch);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Micro-benchmarks of the wire formats: packet emit, parse, and the chain
+//! rewrite the data plane performs per hop.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netchain_wire::{ChainList, Ipv4Addr, Key, NetChainPacket, OpCode, Value};
+
+fn sample_packet() -> NetChainPacket {
+    NetChainPacket::query(
+        Ipv4Addr::for_host(0),
+        40000,
+        Ipv4Addr::for_switch(0),
+        OpCode::Write,
+        Key::from_name("benchmark-key"),
+        Value::filled(0xab, 64).unwrap(),
+        ChainList::new(vec![Ipv4Addr::for_switch(1), Ipv4Addr::for_switch(2)]).unwrap(),
+        1,
+    )
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let pkt = sample_packet();
+    let bytes = pkt.to_bytes();
+    c.bench_function("wire/emit_full_packet", |b| {
+        b.iter(|| black_box(&pkt).to_bytes())
+    });
+    c.bench_function("wire/parse_full_packet", |b| {
+        b.iter(|| NetChainPacket::from_bytes(black_box(&bytes)).unwrap())
+    });
+    c.bench_function("wire/advance_to_next_hop", |b| {
+        b.iter(|| {
+            let mut p = black_box(&pkt).clone();
+            p.advance_to_next_hop();
+            p
+        })
+    });
+    c.bench_function("wire/key_stable_hash", |b| {
+        let key = Key::from_name("benchmark-key");
+        b.iter(|| black_box(&key).stable_hash())
+    });
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,538 @@
+//! The NetChain controller: the reconfiguration half of Vertical Paxos (§5),
+//! running as a component of the (assumed reliable) network controller.
+//!
+//! On a switch failure it performs:
+//!
+//! 1. **Fast failover** (Algorithm 2): install a `ChainFailover` rule in every
+//!    neighbour of the failed switch, so traffic destined to it skips to the
+//!    next chain hop (or is answered on the spot if it was the last hop), and
+//!    bump the session number of every switch that just became a chain head.
+//! 2. **Failure recovery** (Algorithm 3): restore the affected chains to
+//!    `f + 1` switches by copying state onto a replacement switch, one
+//!    *virtual group* at a time, using the two-phase atomic switching
+//!    (block → synchronise → activate) that preserves Invariant 1.
+//!
+//! The duration of each group's synchronisation models the dominant cost the
+//! paper measures (copying register state through the switch control plane):
+//! it is `total_sync_duration / number_of_affected_groups`, so one virtual
+//! group blocks writes for the whole duration (Figure 10(a)) while 100 groups
+//! block ~1 % of keys at a time (Figure 10(b)).
+
+use crate::directory::AddressMap;
+use crate::hashring::HashRing;
+use crate::message::{ControlMsg, NetMsg};
+use netchain_sim::{Context, Node, NodeId, SimDuration, SimTime, TimerToken};
+use netchain_switch::{FailoverAction, FailoverRule, RuleScope};
+use netchain_wire::Ipv4Addr;
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+const TIMER_RECOVERY_BASE: TimerToken = 1_000;
+const TIMER_SYNC_BASE: TimerToken = 2_000;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// One-way latency of controller ↔ switch control-plane messages.
+    pub control_latency: SimDuration,
+    /// Delay between completing fast failover and starting failure recovery
+    /// (the paper's experiment separates the two by ~20 s to make the phases
+    /// visible).
+    pub recovery_start_delay: SimDuration,
+    /// Total time to resynchronise all of a failed switch's state onto the
+    /// replacement (the paper measures ~150 s for the 8 MB prototype store).
+    pub total_sync_duration: SimDuration,
+    /// Explicit replacement switch; `None` lets the controller pick a live
+    /// switch that is not already in the affected chains.
+    pub replacement: Option<Ipv4Addr>,
+    /// Overrides the virtual-group granularity of failure recovery. `None`
+    /// uses the ring's virtual nodes (the normal case); `Some(g)` recovers the
+    /// key space in `g` equal hash groups instead, which is how the Figure 10
+    /// experiment compares "1 virtual group" against "100 virtual groups".
+    pub recovery_groups: Option<u32>,
+    /// Whether to run failure recovery at all (fast failover always runs).
+    pub auto_recovery: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            control_latency: SimDuration::from_millis(1),
+            recovery_start_delay: SimDuration::from_secs(20),
+            total_sync_duration: SimDuration::from_secs(150),
+            replacement: None,
+            recovery_groups: None,
+            auto_recovery: true,
+        }
+    }
+}
+
+/// The phase a recovery task is in (exposed for tests and experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPhase {
+    /// Fast failover done, waiting to start recovery.
+    WaitingToStart,
+    /// Group-by-group synchronisation in progress.
+    Syncing,
+    /// All groups restored.
+    Complete,
+}
+
+#[derive(Debug, Clone)]
+struct RecoveryTask {
+    failed_ip: Ipv4Addr,
+    failed_node: NodeId,
+    replacement_ip: Ipv4Addr,
+    groups: Vec<u32>,
+    current: usize,
+    phase: RecoveryPhase,
+}
+
+/// A record of one completed failover/recovery, for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// The switch that failed.
+    pub failed_ip: Ipv4Addr,
+    /// The switch that absorbed its virtual groups.
+    pub replacement_ip: Ipv4Addr,
+    /// Number of virtual groups restored.
+    pub groups_recovered: usize,
+    /// When fast failover rules were issued.
+    pub failover_at: SimTime,
+    /// When the last group finished recovery.
+    pub recovered_at: SimTime,
+}
+
+/// The controller node.
+pub struct Controller {
+    config: ControllerConfig,
+    ring: HashRing,
+    addr: AddressMap,
+    /// Neighbours of every switch node in the data-plane topology.
+    switch_neighbors: HashMap<NodeId, Vec<NodeId>>,
+    failed: HashSet<Ipv4Addr>,
+    tasks: Vec<RecoveryTask>,
+    records: Vec<RecoveryRecord>,
+    pending_failover_at: HashMap<Ipv4Addr, SimTime>,
+    next_session: u64,
+}
+
+impl Controller {
+    /// Creates a controller.
+    ///
+    /// `switch_neighbors` maps every *switch* node to its neighbouring
+    /// *switch* nodes — the set Algorithm 2 programs on a failure.
+    pub fn new(
+        config: ControllerConfig,
+        ring: HashRing,
+        addr: AddressMap,
+        switch_neighbors: HashMap<NodeId, Vec<NodeId>>,
+    ) -> Self {
+        Controller {
+            config,
+            ring,
+            addr,
+            switch_neighbors,
+            failed: HashSet::new(),
+            tasks: Vec::new(),
+            records: Vec::new(),
+            pending_failover_at: HashMap::new(),
+            next_session: 1,
+        }
+    }
+
+    /// Completed recovery records.
+    pub fn records(&self) -> &[RecoveryRecord] {
+        &self.records
+    }
+
+    /// Switches the controller currently believes failed.
+    pub fn failed_switches(&self) -> &HashSet<Ipv4Addr> {
+        &self.failed
+    }
+
+    /// Phase of the most recent recovery task for `failed_ip`, if any.
+    pub fn recovery_phase(&self, failed_ip: Ipv4Addr) -> Option<RecoveryPhase> {
+        self.tasks
+            .iter()
+            .rev()
+            .find(|t| t.failed_ip == failed_ip)
+            .map(|t| t.phase)
+    }
+
+    fn recovery_modulus(&self) -> u32 {
+        self.config
+            .recovery_groups
+            .unwrap_or(self.ring.num_virtual_nodes() as u32)
+            .max(1)
+    }
+
+    fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
+        self.switch_neighbors.get(&node).cloned().unwrap_or_default()
+    }
+
+    fn send_rule(
+        &self,
+        ctx: &mut Context<NetMsg>,
+        to: NodeId,
+        failed_ip: Ipv4Addr,
+        rule: FailoverRule,
+    ) {
+        ctx.send_control(
+            to,
+            NetMsg::Control(ControlMsg::InstallRule { failed_ip, rule }),
+            self.config.control_latency,
+        );
+    }
+
+    /// Algorithm 2: install fast-failover rules at the failed switch's
+    /// neighbours and bump the session of every switch that became a head.
+    fn fast_failover(&mut self, failed_node: NodeId, failed_ip: Ipv4Addr, ctx: &mut Context<NetMsg>) {
+        for neighbor in self.neighbors_of(failed_node) {
+            self.send_rule(
+                ctx,
+                neighbor,
+                failed_ip,
+                FailoverRule {
+                    priority: 1,
+                    scope: RuleScope::All,
+                    action: FailoverAction::ChainFailover,
+                },
+            );
+        }
+        // Session bump for new heads: for every affected group where the
+        // failed switch was the head, its successor now sequences writes and
+        // must use a larger session number (§5.2, NOPaxos-style ordering).
+        let mut new_heads: HashSet<Ipv4Addr> = HashSet::new();
+        for &group in &self.ring.groups_involving(failed_ip) {
+            let chain = self.ring.chain_for_group(group);
+            if chain.head() == failed_ip {
+                if let Some(successor) = chain.successor(failed_ip) {
+                    new_heads.insert(successor);
+                }
+            }
+        }
+        for head_ip in new_heads {
+            if let Some(node) = self.addr.node_of(head_ip) {
+                let session = self.next_session;
+                self.next_session += 1;
+                ctx.send_control(
+                    node,
+                    NetMsg::Control(ControlMsg::SetSession { session }),
+                    self.config.control_latency,
+                );
+            }
+        }
+    }
+
+    fn pick_replacement(&self, failed_ip: Ipv4Addr) -> Option<Ipv4Addr> {
+        if let Some(explicit) = self.config.replacement {
+            return Some(explicit);
+        }
+        // Prefer a live switch that does not already participate in the
+        // affected chains, to spread load; fall back to any live switch.
+        let affected: HashSet<Ipv4Addr> = self
+            .ring
+            .groups_involving(failed_ip)
+            .iter()
+            .flat_map(|&g| self.ring.chain_for_group(g).switches)
+            .collect();
+        let live: Vec<Ipv4Addr> = self
+            .ring
+            .switches()
+            .iter()
+            .copied()
+            .filter(|ip| !self.failed.contains(ip))
+            .collect();
+        live.iter()
+            .copied()
+            .find(|ip| !affected.contains(ip))
+            .or_else(|| live.first().copied())
+    }
+
+    fn task_timer(&self, base: TimerToken, task_idx: usize) -> TimerToken {
+        base + task_idx as TimerToken
+    }
+
+    fn start_group_sync(&mut self, task_idx: usize, ctx: &mut Context<NetMsg>) {
+        let (failed_ip, failed_node, group, group_count) = {
+            let task = &self.tasks[task_idx];
+            (
+                task.failed_ip,
+                task.failed_node,
+                task.groups[task.current],
+                task.groups.len(),
+            )
+        };
+        let modulus = self.recovery_modulus();
+        // Phase 1 of two-phase atomic switching: block queries of this group
+        // destined to the failed switch while the replacement synchronises.
+        for neighbor in self.neighbors_of(failed_node) {
+            self.send_rule(
+                ctx,
+                neighbor,
+                failed_ip,
+                FailoverRule {
+                    priority: 2,
+                    scope: RuleScope::Group { group, modulus },
+                    action: FailoverAction::Block,
+                },
+            );
+        }
+        // The synchronisation takes its share of the total sync budget.
+        let per_group = SimDuration::from_nanos(
+            self.config.total_sync_duration.as_nanos() / group_count.max(1) as u64,
+        );
+        ctx.set_timer(per_group, self.task_timer(TIMER_SYNC_BASE, task_idx));
+    }
+
+    fn finish_group_sync(&mut self, task_idx: usize, ctx: &mut Context<NetMsg>) {
+        let (failed_ip, group) = {
+            let task = &self.tasks[task_idx];
+            (task.failed_ip, task.groups[task.current])
+        };
+        let modulus = self.recovery_modulus();
+        // Ask the reference switch (chain successor of the failed switch, or
+        // its predecessor if the failed switch was the tail) for the group's
+        // state. The reply triggers the import + activation.
+        let chain = self.ring.chain_for_group(group);
+        let reference = chain
+            .successor(failed_ip)
+            .or_else(|| chain.predecessor(failed_ip));
+        let Some(reference_ip) = reference else {
+            // Single-switch chain (f = 0): nothing to synchronise from.
+            self.activate_group(task_idx, group, ctx);
+            return;
+        };
+        if let Some(node) = self.addr.node_of(reference_ip) {
+            ctx.send_control(
+                node,
+                NetMsg::Control(ControlMsg::ExportRequest {
+                    groups: Some(vec![group]),
+                    modulus,
+                    token: u64::from(group) | ((task_idx as u64) << 32),
+                }),
+                self.config.control_latency,
+            );
+        }
+    }
+
+    fn activate_group(&mut self, task_idx: usize, group: u32, ctx: &mut Context<NetMsg>) {
+        let (failed_ip, failed_node, replacement_ip) = {
+            let task = &self.tasks[task_idx];
+            (task.failed_ip, task.failed_node, task.replacement_ip)
+        };
+        let modulus = self.recovery_modulus();
+        // Phase 2: activate the replacement for this group and redirect
+        // traffic to it, overriding both the block rule and fast failover.
+        if let Some(node) = self.addr.node_of(replacement_ip) {
+            ctx.send_control(
+                node,
+                NetMsg::Control(ControlMsg::SetActive { active: true }),
+                self.config.control_latency,
+            );
+            let session = self.next_session;
+            self.next_session += 1;
+            ctx.send_control(
+                node,
+                NetMsg::Control(ControlMsg::SetSession { session }),
+                self.config.control_latency,
+            );
+        }
+        for neighbor in self.neighbors_of(failed_node) {
+            self.send_rule(
+                ctx,
+                neighbor,
+                failed_ip,
+                FailoverRule {
+                    priority: 3,
+                    scope: RuleScope::Group { group, modulus },
+                    action: FailoverAction::Redirect(replacement_ip),
+                },
+            );
+            ctx.send_control(
+                neighbor,
+                NetMsg::Control(ControlMsg::RemoveRule {
+                    failed_ip,
+                    priority: 2,
+                    scope: RuleScope::Group { group, modulus },
+                }),
+                self.config.control_latency,
+            );
+        }
+        // Advance to the next group or finish.
+        let task = &mut self.tasks[task_idx];
+        task.current += 1;
+        if task.current < task.groups.len() {
+            self.start_group_sync(task_idx, ctx);
+        } else {
+            task.phase = RecoveryPhase::Complete;
+            let record = RecoveryRecord {
+                failed_ip,
+                replacement_ip,
+                groups_recovered: self.tasks[task_idx].groups.len(),
+                failover_at: self
+                    .pending_failover_at
+                    .get(&failed_ip)
+                    .copied()
+                    .unwrap_or(SimTime::ZERO),
+                recovered_at: ctx.now(),
+            };
+            self.records.push(record);
+        }
+    }
+}
+
+impl Node<NetMsg> for Controller {
+    fn on_message(&mut self, _from: NodeId, msg: NetMsg, ctx: &mut Context<NetMsg>) {
+        let NetMsg::Control(ControlMsg::ExportResponse { entries, token }) = msg else {
+            return;
+        };
+        let task_idx = (token >> 32) as usize;
+        let group = (token & 0xffff_ffff) as u32;
+        if task_idx >= self.tasks.len() {
+            return;
+        }
+        let replacement_ip = self.tasks[task_idx].replacement_ip;
+        if let Some(node) = self.addr.node_of(replacement_ip) {
+            ctx.send_control(
+                node,
+                NetMsg::Control(ControlMsg::ImportEntries { entries }),
+                self.config.control_latency,
+            );
+        }
+        self.activate_group(task_idx, group, ctx);
+    }
+
+    fn on_node_down(&mut self, node: NodeId, ctx: &mut Context<NetMsg>) {
+        let Some(failed_ip) = self.addr.ip_of(node) else {
+            return;
+        };
+        // Only switches participate in chains.
+        if !self.ring.switches().contains(&failed_ip) {
+            return;
+        }
+        self.failed.insert(failed_ip);
+        self.pending_failover_at.insert(failed_ip, ctx.now());
+        self.fast_failover(node, failed_ip, ctx);
+
+        if !self.config.auto_recovery {
+            return;
+        }
+        let Some(replacement_ip) = self.pick_replacement(failed_ip) else {
+            return;
+        };
+        let groups = match self.config.recovery_groups {
+            Some(g) => (0..g.max(1)).collect(),
+            None => self.ring.groups_involving(failed_ip),
+        };
+        if groups.is_empty() {
+            return;
+        }
+        let task = RecoveryTask {
+            failed_ip,
+            failed_node: node,
+            replacement_ip,
+            groups,
+            current: 0,
+            phase: RecoveryPhase::WaitingToStart,
+        };
+        self.tasks.push(task);
+        let idx = self.tasks.len() - 1;
+        ctx.set_timer(
+            self.config.recovery_start_delay,
+            self.task_timer(TIMER_RECOVERY_BASE, idx),
+        );
+    }
+
+    fn on_node_up(&mut self, node: NodeId, _ctx: &mut Context<NetMsg>) {
+        if let Some(ip) = self.addr.ip_of(node) {
+            self.failed.remove(&ip);
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<NetMsg>) {
+        if token >= TIMER_SYNC_BASE {
+            let idx = (token - TIMER_SYNC_BASE) as usize;
+            if idx < self.tasks.len() {
+                self.finish_group_sync(idx, ctx);
+            }
+        } else if token >= TIMER_RECOVERY_BASE {
+            let idx = (token - TIMER_RECOVERY_BASE) as usize;
+            if idx < self.tasks.len() {
+                self.tasks[idx].phase = RecoveryPhase::Syncing;
+                self.start_group_sync(idx, ctx);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "controller".to_string()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> HashRing {
+        let switches: Vec<Ipv4Addr> = (0..4).map(Ipv4Addr::for_switch).collect();
+        HashRing::new(switches, 4, 3, 2)
+    }
+
+    #[test]
+    fn replacement_prefers_unaffected_live_switches() {
+        let ring = ring();
+        let mut addr = AddressMap::new();
+        for i in 0..4 {
+            addr.register(NodeId(i), Ipv4Addr::for_switch(i as u32));
+        }
+        let controller = Controller::new(
+            ControllerConfig::default(),
+            ring.clone(),
+            addr,
+            HashMap::new(),
+        );
+        let failed = Ipv4Addr::for_switch(1);
+        let replacement = controller.pick_replacement(failed).unwrap();
+        assert_ne!(replacement, failed);
+        // With 4 switches and chains of 3, almost every switch is somewhere in
+        // the affected set, so the fallback may pick any live switch; it must
+        // never pick the failed one.
+    }
+
+    #[test]
+    fn explicit_replacement_wins() {
+        let ring = ring();
+        let config = ControllerConfig {
+            replacement: Some(Ipv4Addr::for_switch(3)),
+            ..Default::default()
+        };
+        let controller = Controller::new(config, ring, AddressMap::new(), HashMap::new());
+        assert_eq!(
+            controller.pick_replacement(Ipv4Addr::for_switch(1)),
+            Some(Ipv4Addr::for_switch(3))
+        );
+    }
+
+    #[test]
+    fn recovery_phase_initially_unknown() {
+        let controller = Controller::new(
+            ControllerConfig::default(),
+            ring(),
+            AddressMap::new(),
+            HashMap::new(),
+        );
+        assert_eq!(controller.recovery_phase(Ipv4Addr::for_switch(1)), None);
+        assert!(controller.records().is_empty());
+        assert!(controller.failed_switches().is_empty());
+    }
+}

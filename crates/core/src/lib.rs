@@ -1,0 +1,46 @@
+//! # netchain-core
+//!
+//! The NetChain system proper: everything above the switch data plane and the
+//! network substrate.
+//!
+//! * [`hashring`] — consistent hashing with virtual nodes: partitions the key
+//!   space over switches and assigns every key a chain of `f + 1` distinct
+//!   switches (§4.1).
+//! * [`directory`] — the mapping every client agent keeps from keys to chains
+//!   and from switch IPs to simulator nodes.
+//! * [`agent`] — the client agent: a sans-IO core that builds query packets
+//!   (write queries carry the chain head-to-tail, read queries the reverse
+//!   order, §4.2), matches replies, and drives timeouts/retries (§4.3).
+//! * [`client`] — simulator nodes wrapping the agent: an open/closed-loop
+//!   workload generator and a scripted client for tests and examples.
+//! * [`switch_node`] — the simulator adapter that hosts a
+//!   [`netchain_switch::NetChainSwitch`] on a topology node and performs
+//!   underlay L3 forwarding.
+//! * [`controller`] — the network controller (the reconfiguration half of
+//!   Vertical Paxos): fast failover (Algorithm 2) and failure recovery with
+//!   two-phase atomic switching and virtual groups (Algorithm 3, §5).
+//! * [`cluster`] — glue that assembles complete deployments (the Figure 8
+//!   testbed or arbitrary spine–leaf fabrics) ready to run experiments on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod client;
+pub mod cluster;
+pub mod controller;
+pub mod directory;
+pub mod hashring;
+pub mod message;
+pub mod switch_node;
+pub mod types;
+
+pub use agent::{AgentConfig, AgentCore, AgentStats};
+pub use client::{ScriptedClient, WorkloadClient, WorkloadConfig};
+pub use cluster::{ClusterConfig, ClusterLayout, NetChainCluster};
+pub use controller::{Controller, ControllerConfig};
+pub use directory::{AddressMap, ChainDirectory};
+pub use hashring::{ChainDescriptor, HashRing};
+pub use message::{ControlMsg, NetMsg};
+pub use switch_node::SwitchNode;
+pub use types::{CompletedQuery, KvOp, NetChainError};

@@ -1,0 +1,145 @@
+//! The message type carried by the simulator for NetChain deployments:
+//! data-plane packets plus control-plane (controller ↔ switch) RPCs.
+
+use netchain_sim::Message;
+use netchain_switch::kv::ExportedEntry;
+use netchain_switch::{FailoverRule, RuleScope};
+use netchain_wire::{Ipv4Addr, Key, NetChainPacket, Value};
+
+/// One message on the simulated network.
+#[derive(Debug, Clone)]
+pub enum NetMsg {
+    /// A data-plane NetChain packet (query or reply).
+    Data(NetChainPacket),
+    /// A control-plane message between the controller and a switch agent.
+    /// In the real system these are Thrift RPCs through the switch OS (§7);
+    /// in the simulator they travel over the out-of-band control channel.
+    Control(ControlMsg),
+}
+
+/// Control-plane operations (controller → switch, and switch → controller
+/// responses).
+#[derive(Debug, Clone)]
+pub enum ControlMsg {
+    /// Install a failover/recovery rule for packets destined to `failed_ip`.
+    InstallRule {
+        /// The failed switch whose traffic the rule captures.
+        failed_ip: Ipv4Addr,
+        /// The rule to install.
+        rule: FailoverRule,
+    },
+    /// Remove a previously installed rule.
+    RemoveRule {
+        /// The failed switch the rule was keyed on.
+        failed_ip: Ipv4Addr,
+        /// Priority of the rule to remove.
+        priority: u8,
+        /// Scope of the rule to remove.
+        scope: RuleScope,
+    },
+    /// Install a key-value entry in the switch's store (the control-plane
+    /// part of an `Insert`, §4.1).
+    InsertKey {
+        /// Key to install.
+        key: Key,
+        /// Initial value.
+        value: Value,
+    },
+    /// Garbage-collect a deleted key.
+    GcKey {
+        /// Key to collect.
+        key: Key,
+    },
+    /// Set the session number a switch stamps on writes it sequences
+    /// (head replacement, §5.2).
+    SetSession {
+        /// The new session number.
+        session: u64,
+    },
+    /// Activate or deactivate NetChain processing on the switch
+    /// (Algorithm 3 phase 2 activates a replacement switch).
+    SetActive {
+        /// Whether the switch should process queries addressed to it.
+        active: bool,
+    },
+    /// Ask a switch to export the entries belonging to the given virtual
+    /// groups (or all entries if `groups` is `None`).
+    ExportRequest {
+        /// Virtual groups to export, or `None` for everything.
+        groups: Option<Vec<u32>>,
+        /// Number of virtual groups used for filtering.
+        modulus: u32,
+        /// Token echoed in the response so the controller can match it.
+        token: u64,
+    },
+    /// A switch's response to [`ControlMsg::ExportRequest`].
+    ExportResponse {
+        /// The exported entries.
+        entries: Vec<ExportedEntry>,
+        /// Token from the request.
+        token: u64,
+    },
+    /// Load entries into a switch's store (state synchronisation onto a
+    /// replacement switch).
+    ImportEntries {
+        /// Entries to import.
+        entries: Vec<ExportedEntry>,
+    },
+}
+
+impl Message for NetMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            NetMsg::Data(pkt) => pkt.wire_size(),
+            // Control messages travel on the management network; their size
+            // only matters for rough accounting. Entries dominate.
+            NetMsg::Control(msg) => match msg {
+                ControlMsg::ExportResponse { entries, .. }
+                | ControlMsg::ImportEntries { entries } => 64 + entries.len() * 64,
+                ControlMsg::ExportRequest { groups, .. } => {
+                    64 + groups.as_ref().map_or(0, |g| g.len() * 4)
+                }
+                _ => 64,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netchain_wire::{ChainList, OpCode};
+
+    #[test]
+    fn wire_sizes_are_sensible() {
+        let pkt = NetChainPacket::query(
+            Ipv4Addr::for_host(0),
+            4000,
+            Ipv4Addr::for_switch(0),
+            OpCode::Read,
+            Key::from_u64(1),
+            Value::empty(),
+            ChainList::empty(),
+            1,
+        );
+        assert_eq!(NetMsg::Data(pkt.clone()).wire_size(), pkt.wire_size());
+        assert_eq!(
+            NetMsg::Control(ControlMsg::SetActive { active: true }).wire_size(),
+            64
+        );
+        let entries = vec![
+            netchain_switch::kv::ExportedEntry {
+                key: Key::from_u64(1),
+                value: Value::from_u64(2),
+                seq: 1,
+                session: 0,
+                valid: true,
+            };
+            10
+        ];
+        assert_eq!(
+            NetMsg::Control(ControlMsg::ImportEntries { entries }).wire_size(),
+            64 + 640
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Simulator adapter for a NetChain switch: hosts a
+//! [`netchain_switch::NetChainSwitch`] on a topology node, performs underlay
+//! L3 forwarding of whatever the data plane emits, and executes control-plane
+//! RPCs from the controller.
+
+use crate::message::{ControlMsg, NetMsg};
+use netchain_sim::{Context, Node, NodeId, SimDuration};
+use netchain_switch::{NetChainSwitch, SwitchAction};
+use netchain_wire::Ipv4Addr;
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+/// A switch attached to the simulated topology.
+pub struct SwitchNode {
+    switch: NetChainSwitch,
+    /// Underlay forwarding: destination IP → equal-cost next-hop neighbours,
+    /// in preference order. The first *live* hop is used, which models the
+    /// fast rerouting the underlay routing protocol provides on failures
+    /// (§4.2 relies on it).
+    l3: HashMap<Ipv4Addr, Vec<NodeId>>,
+    /// Neighbours currently believed down (populated from failure
+    /// notifications).
+    down_neighbors: HashSet<NodeId>,
+    /// One-way latency of control-plane responses back to the controller.
+    control_latency: SimDuration,
+    /// Packets dropped because no live route existed for the destination.
+    dropped_no_route: u64,
+}
+
+impl SwitchNode {
+    /// Creates the adapter.
+    pub fn new(
+        switch: NetChainSwitch,
+        l3: HashMap<Ipv4Addr, Vec<NodeId>>,
+        control_latency: SimDuration,
+    ) -> Self {
+        SwitchNode {
+            switch,
+            l3,
+            down_neighbors: HashSet::new(),
+            control_latency,
+            dropped_no_route: 0,
+        }
+    }
+
+    /// The data-plane model.
+    pub fn switch(&self) -> &NetChainSwitch {
+        &self.switch
+    }
+
+    /// Mutable access to the data-plane model (tests and direct population).
+    pub fn switch_mut(&mut self) -> &mut NetChainSwitch {
+        &mut self.switch
+    }
+
+    /// Packets dropped for lack of a route.
+    pub fn dropped_no_route(&self) -> u64 {
+        self.dropped_no_route
+    }
+
+    fn forward(&mut self, pkt: netchain_wire::NetChainPacket, ctx: &mut Context<NetMsg>) {
+        let hops = self.l3.get(&pkt.ip.dst);
+        let next = hops.and_then(|hops| {
+            hops.iter()
+                .copied()
+                .find(|hop| !self.down_neighbors.contains(hop))
+                .or_else(|| hops.first().copied())
+        });
+        match next {
+            Some(next_hop) => ctx.send(next_hop, NetMsg::Data(pkt)),
+            None => self.dropped_no_route += 1,
+        }
+    }
+
+    fn apply_control(&mut self, from: NodeId, msg: ControlMsg, ctx: &mut Context<NetMsg>) {
+        match msg {
+            ControlMsg::InstallRule { failed_ip, rule } => {
+                self.switch.forwarding_mut().install(failed_ip, rule);
+            }
+            ControlMsg::RemoveRule {
+                failed_ip,
+                priority,
+                scope,
+            } => {
+                self.switch.forwarding_mut().remove(failed_ip, priority, scope);
+            }
+            ControlMsg::InsertKey { key, value } => {
+                // Idempotent from the controller's point of view: re-inserting
+                // an existing key is a no-op.
+                let _ = self.switch.kv_mut().insert(key, &value);
+            }
+            ControlMsg::GcKey { key } => {
+                let _ = self.switch.kv_mut().garbage_collect(&key);
+            }
+            ControlMsg::SetSession { session } => {
+                self.switch.set_session(session);
+            }
+            ControlMsg::SetActive { active } => {
+                self.switch.set_active(active);
+            }
+            ControlMsg::ExportRequest {
+                groups,
+                modulus,
+                token,
+            } => {
+                let entries: Vec<_> = self
+                    .switch
+                    .kv()
+                    .export_entries()
+                    .into_iter()
+                    .filter(|entry| match &groups {
+                        None => true,
+                        Some(wanted) => {
+                            let group =
+                                (entry.key.stable_hash() % u64::from(modulus.max(1))) as u32;
+                            wanted.contains(&group)
+                        }
+                    })
+                    .collect();
+                ctx.send_control(
+                    from,
+                    NetMsg::Control(ControlMsg::ExportResponse { entries, token }),
+                    self.control_latency,
+                );
+            }
+            ControlMsg::ExportResponse { .. } => {
+                // Switches never receive export responses; ignore.
+            }
+            ControlMsg::ImportEntries { entries } => {
+                for entry in &entries {
+                    let _ = self.switch.kv_mut().import_entry(entry);
+                }
+            }
+        }
+    }
+}
+
+impl Node<NetMsg> for SwitchNode {
+    fn on_node_down(&mut self, node: NodeId, _ctx: &mut Context<NetMsg>) {
+        self.down_neighbors.insert(node);
+    }
+
+    fn on_node_up(&mut self, node: NodeId, _ctx: &mut Context<NetMsg>) {
+        self.down_neighbors.remove(&node);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: NetMsg, ctx: &mut Context<NetMsg>) {
+        match msg {
+            NetMsg::Data(pkt) => match self.switch.handle(pkt) {
+                SwitchAction::Forward(out) => self.forward(out, ctx),
+                SwitchAction::Drop(_) => {}
+            },
+            NetMsg::Control(control) => self.apply_control(from, control, ctx),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("switch {}", self.switch.ip())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netchain_switch::PipelineConfig;
+    use netchain_wire::{Key, Value};
+
+    #[test]
+    fn control_messages_program_the_switch() {
+        let sw = NetChainSwitch::new(Ipv4Addr::for_switch(0), PipelineConfig::tiny(8));
+        let mut node = SwitchNode::new(sw, HashMap::new(), SimDuration::from_millis(1));
+        // Drive control handling directly (no simulator needed for this path).
+        let key = Key::from_name("a");
+        // A throwaway context is hard to fabricate without the simulator, so
+        // exercise the pieces that do not need one via the inner switch.
+        node.switch_mut()
+            .kv_mut()
+            .insert(key, &Value::from_u64(5))
+            .unwrap();
+        assert_eq!(node.switch().kv().store_size(), 1);
+        assert_eq!(node.dropped_no_route(), 0);
+    }
+}

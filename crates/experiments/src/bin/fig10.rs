@@ -1,0 +1,25 @@
+//! Figure 10: failure handling time series (1 and 100 virtual groups).
+use netchain_experiments::{fig10, print_series};
+fn main() {
+    let vgroups: u32 = std::env::args()
+        .skip_while(|a| a != "--vgroups")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let runs: Vec<u32> = if vgroups == 0 { vec![1, 100] } else { vec![vgroups] };
+    for groups in runs {
+        let params = fig10::Fig10Params {
+            virtual_groups: groups,
+            ..Default::default()
+        };
+        let series = fig10::fig10(params);
+        let summary = fig10::summarise(&params, &series[1]);
+        print_series(
+            &format!("Figure 10: failure handling, {groups} virtual group(s)"),
+            "time (s)",
+            "client throughput",
+            &series,
+        );
+        println!("summary: {summary:?}\n");
+    }
+}

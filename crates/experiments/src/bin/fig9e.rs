@@ -1,0 +1,7 @@
+//! Figure 9(e): latency vs throughput (measured by simulation).
+use netchain_experiments::{fig9, print_series};
+use netchain_sim::SimDuration;
+fn main() {
+    let series = fig9::fig9e(SimDuration::from_millis(200));
+    print_series("Figure 9(e): latency vs throughput", "throughput (QPS)", "latency (µs)", &series);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1.
+fn main() {
+    netchain_experiments::table1::print_table1();
+}

@@ -1,0 +1,294 @@
+//! The flow-level capacity model.
+//!
+//! For a given topology, chain placement and query mix, the model counts how
+//! many times each switch must handle a packet per query (chain processing,
+//! which may cost several pipeline passes for large values, plus plain
+//! transit forwarding), averages that load over clients and key groups, and
+//! returns the largest aggregate query rate at which no switch exceeds its
+//! packet budget. This is the same style of reasoning the paper's §8.3
+//! simulator uses ("we assume each switch has a throughput of 4 BQPS" and
+//! count hops), applied uniformly to the testbed and the spine–leaf fabrics.
+
+use netchain_core::HashRing;
+use netchain_sim::{NodeId, RoutingTables, Topology};
+use netchain_wire::Ipv4Addr;
+use std::collections::HashMap;
+
+/// Per-switch packet budget and optional client injection limits.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityModel {
+    /// Packets per second each switch can process.
+    pub switch_pps: f64,
+    /// Queries per second each client server can inject (0 = unlimited).
+    pub client_injection_qps: f64,
+}
+
+impl CapacityModel {
+    /// The testbed configuration: 4 BQPS switches, 20.5 MQPS clients.
+    pub fn paper_defaults() -> Self {
+        CapacityModel {
+            switch_pps: crate::calib::SWITCH_PPS,
+            client_injection_qps: crate::calib::CLIENT_INJECTION_QPS,
+        }
+    }
+
+    /// Computes the saturation throughput (queries per second) of a
+    /// deployment.
+    ///
+    /// * `switch_nodes[i]` is the topology node of `ring.switches()[i]`.
+    /// * `hosts` are the client-facing hosts issuing queries (uniformly).
+    /// * `write_ratio` is the fraction of writes.
+    /// * `passes` is the number of pipeline passes per chain-processing step
+    ///   (1 for values up to 128 B, more with recirculation).
+    #[allow(clippy::too_many_arguments)]
+    pub fn max_throughput(
+        &self,
+        topology: &Topology,
+        routing: &RoutingTables,
+        ring: &HashRing,
+        switch_nodes: &[NodeId],
+        hosts: &[NodeId],
+        write_ratio: f64,
+        passes: usize,
+    ) -> f64 {
+        assert_eq!(
+            switch_nodes.len(),
+            ring.switches().len(),
+            "switch_nodes must parallel ring.switches()"
+        );
+        let node_of_ip: HashMap<Ipv4Addr, NodeId> = ring
+            .switches()
+            .iter()
+            .copied()
+            .zip(switch_nodes.iter().copied())
+            .collect();
+
+        // Sample hosts and groups to keep the computation cheap on large
+        // fabrics; uniform sampling is exact in expectation because both
+        // distributions are uniform.
+        let host_sample: Vec<NodeId> = sample(hosts, 64);
+        let groups: Vec<u32> = sample(
+            &(0..ring.num_virtual_nodes() as u32).collect::<Vec<_>>(),
+            256,
+        );
+
+        // load[node] = expected packet-handling cost per query.
+        let mut read_load: HashMap<NodeId, f64> = HashMap::new();
+        let mut write_load: HashMap<NodeId, f64> = HashMap::new();
+        let samples = (host_sample.len() * groups.len()) as f64;
+
+        for (hi, &host) in host_sample.iter().enumerate() {
+            for &group in &groups {
+                // ECMP flow hash: queries from different hosts / for different
+                // groups spread across equal-cost paths, as a real fabric
+                // hashing the 5-tuple would.
+                let flow = (hi as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(u64::from(group).wrapping_mul(0x85eb_ca6b));
+                let chain = ring.chain_for_group(group);
+                let chain_nodes: Vec<NodeId> =
+                    chain.switches.iter().map(|ip| node_of_ip[ip]).collect();
+                // Read: host -> tail -> host, processing only at the tail.
+                let tail = *chain_nodes.last().expect("non-empty chain");
+                accumulate(&mut read_load, routing, host, tail, tail, passes, samples, flow);
+                accumulate(&mut read_load, routing, tail, host, tail, passes, samples, flow ^ 1);
+                // Write: host -> head -> ... -> tail -> host, processing at
+                // every chain switch.
+                let mut prev = host;
+                for (seg, &chain_node) in chain_nodes.iter().enumerate() {
+                    accumulate(
+                        &mut write_load,
+                        routing,
+                        prev,
+                        chain_node,
+                        chain_node,
+                        passes,
+                        samples,
+                        flow.wrapping_add(seg as u64 * 7),
+                    );
+                    prev = chain_node;
+                }
+                accumulate(
+                    &mut write_load,
+                    routing,
+                    prev,
+                    host,
+                    prev,
+                    passes,
+                    samples,
+                    flow ^ 3,
+                );
+            }
+        }
+
+        // Only switches constrain throughput.
+        let mut limit = f64::INFINITY;
+        for &switch in switch_nodes {
+            let load = (1.0 - write_ratio) * read_load.get(&switch).copied().unwrap_or(0.0)
+                + write_ratio * write_load.get(&switch).copied().unwrap_or(0.0);
+            if load > 0.0 {
+                limit = limit.min(self.switch_pps / load);
+            }
+        }
+        let _ = topology;
+        if self.client_injection_qps > 0.0 {
+            limit = limit.min(self.client_injection_qps * hosts.len() as f64);
+        }
+        limit
+    }
+}
+
+/// Adds the per-switch handling cost of one packet travelling `from → to`
+/// along an ECMP-hashed shortest path. The switch named `processing_node`
+/// runs the NetChain program (costing `passes` pipeline passes); every other
+/// switch on the path merely forwards (cost 1). End hosts cost nothing.
+#[allow(clippy::too_many_arguments)]
+fn accumulate(
+    load: &mut HashMap<NodeId, f64>,
+    routing: &RoutingTables,
+    from: NodeId,
+    to: NodeId,
+    processing_node: NodeId,
+    passes: usize,
+    samples: f64,
+    flow_hash: u64,
+) {
+    // Walk hop by hop, choosing among equal-cost next hops with the flow hash.
+    let mut path = vec![from];
+    let mut cur = from;
+    let mut guard = 0;
+    while cur != to {
+        let Some(next) = routing.next_hop(cur, to, flow_hash.wrapping_add(guard / 64)) else {
+            return;
+        };
+        path.push(next);
+        cur = next;
+        guard += 1;
+        if guard > 64 {
+            return;
+        }
+    }
+    for &node in path.iter().skip(1) {
+        // Hosts at the end of the path never appear as intermediate nodes;
+        // counting only non-endpoints would miss the processing switch when
+        // it is the destination, so count every hop that is a switch-like
+        // forwarder: the caller only passes switch/host mixes where hosts are
+        // path endpoints.
+        let cost = if node == processing_node { passes as f64 } else { 1.0 };
+        if node != to || node == processing_node {
+            *load.entry(node).or_insert(0.0) += cost / samples;
+        }
+    }
+}
+
+fn sample<T: Copy>(items: &[T], cap: usize) -> Vec<T> {
+    if items.len() <= cap {
+        return items.to_vec();
+    }
+    let step = items.len() as f64 / cap as f64;
+    (0..cap)
+        .map(|i| items[(i as f64 * step) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netchain_core::{ClusterConfig, NetChainCluster};
+
+    fn testbed() -> (NetChainCluster, CapacityModel) {
+        let cluster = NetChainCluster::testbed(ClusterConfig::default());
+        (cluster, CapacityModel::paper_defaults())
+    }
+
+    #[test]
+    fn testbed_throughput_is_client_bound() {
+        let (cluster, model) = testbed();
+        let qps = model.max_throughput(
+            cluster.sim.topology(),
+            cluster.sim.routing(),
+            cluster.ring(),
+            &cluster.layout.switches,
+            &cluster.layout.hosts,
+            0.01,
+            1,
+        );
+        // Four 20.5 MQPS clients cannot saturate a 3-switch chain: the model
+        // must report the client bound (82 MQPS), exactly the paper's
+        // NetChain(4) plateau.
+        assert!((qps - 82.0e6).abs() < 1.0, "got {qps}");
+    }
+
+    #[test]
+    fn switch_bound_appears_without_client_limit() {
+        let (cluster, mut model) = testbed();
+        model.client_injection_qps = 0.0;
+        let qps = model.max_throughput(
+            cluster.sim.topology(),
+            cluster.sim.routing(),
+            cluster.ring(),
+            &cluster.layout.switches,
+            &cluster.layout.hosts,
+            0.5,
+            1,
+        );
+        // The chain bound is on the order of a BQPS — far above the clients,
+        // far below infinity.
+        assert!(qps > 1.0e8, "got {qps}");
+        assert!(qps < 1.0e10, "got {qps}");
+    }
+
+    #[test]
+    fn recirculation_halves_switch_bound() {
+        let (cluster, mut model) = testbed();
+        model.client_injection_qps = 0.0;
+        let one_pass = model.max_throughput(
+            cluster.sim.topology(),
+            cluster.sim.routing(),
+            cluster.ring(),
+            &cluster.layout.switches,
+            &cluster.layout.hosts,
+            1.0,
+            1,
+        );
+        let two_pass = model.max_throughput(
+            cluster.sim.topology(),
+            cluster.sim.routing(),
+            cluster.ring(),
+            &cluster.layout.switches,
+            &cluster.layout.hosts,
+            1.0,
+            2,
+        );
+        assert!(two_pass < one_pass);
+        assert!(two_pass > one_pass * 0.4);
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let (cluster, mut model) = testbed();
+        model.client_injection_qps = 0.0;
+        let read_only = model.max_throughput(
+            cluster.sim.topology(),
+            cluster.sim.routing(),
+            cluster.ring(),
+            &cluster.layout.switches,
+            &cluster.layout.hosts,
+            0.0,
+            1,
+        );
+        let write_only = model.max_throughput(
+            cluster.sim.topology(),
+            cluster.sim.routing(),
+            cluster.ring(),
+            &cluster.layout.switches,
+            &cluster.layout.hosts,
+            1.0,
+            1,
+        );
+        assert!(
+            write_only < read_only,
+            "writes traverse more hops: read={read_only}, write={write_only}"
+        );
+    }
+}

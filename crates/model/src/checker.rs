@@ -1,0 +1,207 @@
+//! Bounded explicit-state model checking (the TLC role).
+
+use crate::state::{Action, ModelConfig, ModelState};
+use std::collections::{HashSet, VecDeque};
+
+/// Checker bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckerConfig {
+    /// Model bounds.
+    pub model: ModelConfig,
+    /// Maximum number of distinct states to explore (safety valve).
+    pub max_states: usize,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            model: ModelConfig::default(),
+            max_states: 200_000,
+        }
+    }
+}
+
+/// The result of a checking run.
+#[derive(Debug, Clone)]
+pub enum CheckOutcome {
+    /// Every reachable state within the bounds satisfies both invariants.
+    Verified {
+        /// Number of distinct states explored.
+        states_explored: usize,
+        /// True if exploration hit the `max_states` bound before exhausting
+        /// the (bounded) state space.
+        truncated: bool,
+    },
+    /// A reachable state violates an invariant; the action trace from the
+    /// initial state is included.
+    Violation {
+        /// Which invariant failed.
+        invariant: &'static str,
+        /// The action sequence leading to the violating state.
+        trace: Vec<Action>,
+        /// Number of distinct states explored before the violation.
+        states_explored: usize,
+    },
+}
+
+impl CheckOutcome {
+    /// True if the run verified the invariants.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, CheckOutcome::Verified { .. })
+    }
+}
+
+/// Breadth-first explicit-state checker.
+pub struct Checker {
+    config: CheckerConfig,
+}
+
+impl Checker {
+    /// Creates a checker.
+    pub fn new(config: CheckerConfig) -> Self {
+        Checker { config }
+    }
+
+    /// Explores the bounded state space breadth-first, checking the
+    /// `Consistency` and `UpdatePropagation` invariants in every state.
+    pub fn run(&self) -> CheckOutcome {
+        let model = self.config.model;
+        let initial = ModelState::initial(&model);
+        let mut seen: HashSet<ModelState> = HashSet::new();
+        // Store (state, trace) — traces are short because the model is small.
+        let mut frontier: VecDeque<(ModelState, Vec<Action>)> = VecDeque::new();
+        seen.insert(initial.clone());
+        frontier.push_back((initial, Vec::new()));
+        let mut truncated = false;
+
+        while let Some((state, trace)) = frontier.pop_front() {
+            if let Some(invariant) = violated_invariant(&state, &model) {
+                return CheckOutcome::Violation {
+                    invariant,
+                    trace,
+                    states_explored: seen.len(),
+                };
+            }
+            if seen.len() >= self.config.max_states {
+                truncated = true;
+                continue;
+            }
+            for action in state.enabled_actions(&model) {
+                let next = state.apply(&model, &action);
+                if seen.insert(next.clone()) {
+                    let mut next_trace = trace.clone();
+                    next_trace.push(action);
+                    frontier.push_back((next, next_trace));
+                }
+            }
+        }
+        CheckOutcome::Verified {
+            states_explored: seen.len(),
+            truncated,
+        }
+    }
+}
+
+fn violated_invariant(state: &ModelState, model: &ModelConfig) -> Option<&'static str> {
+    if !state.consistency_holds() {
+        return Some("Consistency");
+    }
+    if !state.update_propagation_holds(model) {
+        return Some("UpdatePropagation");
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_model_without_faults_verifies_exhaustively() {
+        let config = CheckerConfig {
+            model: ModelConfig {
+                chain_len: 2,
+                spares: 0,
+                keys: 1,
+                values: 2,
+                max_queue: 1,
+                max_failures: 0,
+                max_version: 2,
+                max_channel_ops: 1,
+            },
+            max_states: 500_000,
+        };
+        let outcome = Checker::new(config).run();
+        match outcome {
+            CheckOutcome::Verified {
+                states_explored,
+                truncated,
+            } => {
+                assert!(!truncated, "tiny model should be exhausted");
+                assert!(states_explored > 10);
+            }
+            CheckOutcome::Violation { invariant, trace, .. } => {
+                panic!("unexpected violation of {invariant}: {trace:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn model_with_failure_and_recovery_verifies_within_bound() {
+        let config = CheckerConfig {
+            model: ModelConfig {
+                chain_len: 3,
+                spares: 1,
+                keys: 1,
+                values: 2,
+                max_queue: 1,
+                max_failures: 1,
+                max_version: 2,
+                max_channel_ops: 1,
+            },
+            max_states: 150_000,
+        };
+        let outcome = Checker::new(config).run();
+        assert!(
+            outcome.is_verified(),
+            "invariants must hold: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn a_deliberately_broken_model_is_caught() {
+        // Sanity check that the checker can find violations at all: start
+        // from a state where the client has already observed a version newer
+        // than anything the chain will produce, so the next reply regresses.
+        let model = ModelConfig {
+            chain_len: 2,
+            spares: 0,
+            keys: 1,
+            values: 1,
+            max_queue: 1,
+            max_failures: 0,
+            max_version: 1,
+            max_channel_ops: 0,
+        };
+        let mut broken = ModelState::initial(&model);
+        broken.curr_kv[0] = (1, 10);
+        // Consistency still holds here (prev <= curr); but after the client
+        // receives a fresh read reply with version 0, curr regresses.
+        let mut seen_violation = false;
+        let mut state = broken;
+        for action in [
+            Action::ClientSendRead { key: 0 },
+            Action::SwitchProcess {
+                switch: 1,
+                from: crate::state::NodeRef::Client,
+            },
+            Action::ClientRecv,
+        ] {
+            state = state.apply(&model, &action);
+            if !state.consistency_holds() {
+                seen_violation = true;
+            }
+        }
+        assert!(seen_violation, "the rigged scenario must violate Consistency");
+    }
+}

@@ -1,0 +1,33 @@
+//! # netchain-model
+//!
+//! A Rust port of the TLA+ specification in the NetChain paper's appendix:
+//! a small, explicitly bounded model of the request-handling protocol —
+//! switches in a chain, unreliable channels that can drop, duplicate and
+//! reorder messages, fail-stop switch failures with failover/recovery
+//! forwarding — together with an explicit-state breadth-first model checker
+//! and a randomized deep-walk explorer.
+//!
+//! The two safety properties checked are the ones the paper verifies:
+//!
+//! * **Consistency** — the version (sequence number) of every key observed by
+//!   the client is monotonically non-decreasing, even across failures and
+//!   recoveries;
+//! * **UpdatePropagation** — along the chain, an upstream (closer-to-head)
+//!   switch never stores an older version than a downstream switch
+//!   (Invariant 1 of §4.5).
+//!
+//! The state space is tiny by construction (a handful of switches, one key, a
+//! few distinct values, bounded channels and bounded adversarial channel
+//! operations), which is exactly how the original TLA+ model is checked with
+//! TLC.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod random;
+pub mod state;
+
+pub use checker::{CheckOutcome, Checker, CheckerConfig};
+pub use random::{random_walk, RandomWalkConfig, WalkResult};
+pub use state::{Action, ModelConfig, ModelState, Msg, SwitchStatus};

@@ -1,0 +1,143 @@
+//! Randomized deep walks through the model: where the BFS checker exhausts a
+//! tiny state space, the random walker probes much longer behaviours (more
+//! writes, more channel mischief, failure + recovery mid-stream) by sampling
+//! one enabled action at a time. Used by the property-based tests.
+
+use crate::state::{Action, ModelConfig, ModelState};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of a random walk.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomWalkConfig {
+    /// Model bounds (typically looser than the BFS bounds).
+    pub model: ModelConfig,
+    /// Number of steps to take.
+    pub steps: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomWalkConfig {
+    fn default() -> Self {
+        RandomWalkConfig {
+            model: ModelConfig {
+                max_version: 8,
+                max_channel_ops: 6,
+                max_queue: 3,
+                ..ModelConfig::default()
+            },
+            steps: 400,
+            seed: 1,
+        }
+    }
+}
+
+/// The result of a random walk.
+#[derive(Debug, Clone)]
+pub struct WalkResult {
+    /// Steps actually taken (the walk stops early if no action is enabled).
+    pub steps_taken: usize,
+    /// The violated invariant and the action trace, if any.
+    pub violation: Option<(&'static str, Vec<Action>)>,
+    /// The final state.
+    pub final_state: ModelState,
+}
+
+impl WalkResult {
+    /// True if no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Performs one random walk.
+pub fn random_walk(config: RandomWalkConfig) -> WalkResult {
+    let model = config.model;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut state = ModelState::initial(&model);
+    let mut trace = Vec::new();
+    for step in 0..config.steps {
+        let actions = state.enabled_actions(&model);
+        if actions.is_empty() {
+            return WalkResult {
+                steps_taken: step,
+                violation: None,
+                final_state: state,
+            };
+        }
+        let action = actions[rng.gen_range(0..actions.len())].clone();
+        trace.push(action.clone());
+        state = state.apply(&model, &action);
+        if !state.consistency_holds() {
+            return WalkResult {
+                steps_taken: step + 1,
+                violation: Some(("Consistency", trace)),
+                final_state: state,
+            };
+        }
+        if !state.update_propagation_holds(&model) {
+            return WalkResult {
+                steps_taken: step + 1,
+                violation: Some(("UpdatePropagation", trace)),
+                final_state: state,
+            };
+        }
+    }
+    WalkResult {
+        steps_taken: config.steps,
+        violation: None,
+        final_state: state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn many_seeds_stay_clean() {
+        for seed in 0..50 {
+            let result = random_walk(RandomWalkConfig {
+                seed,
+                ..Default::default()
+            });
+            assert!(
+                result.is_clean(),
+                "seed {seed} violated {:?} after {} steps",
+                result.violation,
+                result.steps_taken
+            );
+        }
+    }
+
+    #[test]
+    fn walks_are_deterministic_per_seed() {
+        let a = random_walk(RandomWalkConfig { seed: 7, ..Default::default() });
+        let b = random_walk(RandomWalkConfig { seed: 7, ..Default::default() });
+        assert_eq!(a.steps_taken, b.steps_taken);
+        assert_eq!(a.final_state, b.final_state);
+    }
+
+    #[test]
+    fn deep_walk_with_failures_is_clean() {
+        let config = RandomWalkConfig {
+            model: ModelConfig {
+                chain_len: 3,
+                spares: 2,
+                keys: 2,
+                values: 3,
+                max_queue: 4,
+                max_failures: 2,
+                max_version: 16,
+                max_channel_ops: 12,
+            },
+            steps: 2_000,
+            seed: 42,
+        };
+        let result = random_walk(config);
+        assert!(result.is_clean(), "violation: {:?}", result.violation);
+        assert!(result.steps_taken > 100);
+    }
+}

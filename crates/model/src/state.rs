@@ -1,0 +1,689 @@
+//! The protocol model: state, enabled actions, and transitions.
+//!
+//! This is a direct port of the paper's TLA+ specification. Switch memory
+//! stores a `(value, version)` pair per key; the chain head assigns versions;
+//! replicas apply only newer versions; channels are unreliable (drop,
+//! duplicate, reorder); switches fail-stop and are later "recovered" by
+//! pointing their forwarding at a spare switch whose memory is copied from a
+//! live chain member — the abstract form of the controller's failover and
+//! recovery procedures.
+
+use std::collections::BTreeMap;
+
+/// Bounds of the model (the TLA+ `CONSTANTS`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelConfig {
+    /// Number of switches in the chain.
+    pub chain_len: usize,
+    /// Number of spare switches available to recovery.
+    pub spares: usize,
+    /// Number of keys.
+    pub keys: usize,
+    /// Number of distinct write values (1..=values).
+    pub values: u8,
+    /// Maximum channel length explored.
+    pub max_queue: usize,
+    /// Maximum number of switch failures.
+    pub max_failures: usize,
+    /// Maximum version number explored (bounds client writes).
+    pub max_version: u64,
+    /// Maximum number of adversarial channel operations (drop/dup/reorder).
+    pub max_channel_ops: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            chain_len: 3,
+            spares: 1,
+            keys: 1,
+            values: 2,
+            max_queue: 2,
+            max_failures: 1,
+            max_version: 3,
+            max_channel_ops: 2,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// Total switches (chain plus spares).
+    pub fn num_switches(&self) -> usize {
+        self.chain_len + self.spares
+    }
+}
+
+/// A protocol participant: a switch or the (single, merged) client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeRef {
+    /// Switch by index.
+    Switch(usize),
+    /// The client endpoint (models any number of outstanding client
+    /// requests, as in the TLA+ spec).
+    Client,
+}
+
+/// Liveness status of a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchStatus {
+    /// Processing queries normally.
+    Alive,
+    /// Fail-stopped; traffic destined to it is redirected by its neighbours
+    /// (modelled as forwarding pointers).
+    Failed,
+    /// Recovered: a spare switch has absorbed its role; traffic forwards to
+    /// the spare.
+    Recovered,
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Msg {
+    /// A read query for `key`; `hops` is the remaining chain (reverse order),
+    /// used only for failure handling.
+    Read {
+        /// The key.
+        key: usize,
+        /// Remaining hops.
+        hops: Vec<usize>,
+    },
+    /// A write query.
+    Write {
+        /// The key.
+        key: usize,
+        /// The value being written.
+        val: u8,
+        /// The version; 0 until the head assigns one.
+        ver: u64,
+        /// Remaining hops (head to tail).
+        hops: Vec<usize>,
+    },
+    /// A reply to the client.
+    Reply {
+        /// The key.
+        key: usize,
+        /// The value exposed.
+        val: u8,
+        /// The version exposed.
+        ver: u64,
+    },
+}
+
+/// One enabled transition of the model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// The client sends a read for `key` to the chain tail.
+    ClientSendRead {
+        /// The key.
+        key: usize,
+    },
+    /// The client sends a write of `val` to `key` to the chain head.
+    ClientSendWrite {
+        /// The key.
+        key: usize,
+        /// The value.
+        val: u8,
+    },
+    /// The client consumes the oldest reply in its inbox. Replies are kept
+    /// in the order the chain *generated* them (a single logical inbox):
+    /// §4.5's claim is that the versions the chain exposes are monotonically
+    /// increasing, and delivery skew between concurrent clients is a
+    /// client-side artifact, not a chain property, so the inbox is not
+    /// subject to adversarial reordering (drops and duplicates still are,
+    /// via the channels feeding it).
+    ClientRecv,
+    /// Switch `switch` processes the message at the head of the channel from
+    /// `from` (receive + process fused; the fusion only removes interleavings
+    /// in which a buffered message sits inside a switch, which cannot affect
+    /// the two safety properties because a buffered message is
+    /// indistinguishable from one still in the channel).
+    SwitchProcess {
+        /// The processing switch.
+        switch: usize,
+        /// The upstream endpoint.
+        from: NodeRef,
+    },
+    /// The channel `from → to` drops its head message.
+    ChannelDrop {
+        /// Source endpoint.
+        from: NodeRef,
+        /// Destination endpoint.
+        to: NodeRef,
+    },
+    /// The channel duplicates its head message (appends a copy).
+    ChannelDuplicate {
+        /// Source endpoint.
+        from: NodeRef,
+        /// Destination endpoint.
+        to: NodeRef,
+    },
+    /// The channel reorders (moves its head message to the back).
+    ChannelReorder {
+        /// Source endpoint.
+        from: NodeRef,
+        /// Destination endpoint.
+        to: NodeRef,
+    },
+    /// Switch `switch` fail-stops.
+    SwitchFail {
+        /// The failing switch.
+        switch: usize,
+    },
+    /// The failed switch `switch` is recovered onto spare `spare`.
+    SwitchRecover {
+        /// The failed switch.
+        switch: usize,
+        /// The spare absorbing its role.
+        spare: usize,
+    },
+}
+
+/// The full model state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelState {
+    /// Per-switch, per-key `(value, version)`; value 0 means "no value".
+    pub mem: Vec<Vec<(u8, u64)>>,
+    /// Per-switch status.
+    pub status: Vec<SwitchStatus>,
+    /// Where a failed/recovered switch forwards reads (towards the head).
+    pub read_fwd: Vec<Option<NodeRef>>,
+    /// Where a failed/recovered switch forwards writes (towards the tail).
+    pub write_fwd: Vec<Option<NodeRef>>,
+    /// Channels between endpoints (FIFO, but adversarial actions may reorder).
+    pub channels: BTreeMap<(NodeRef, NodeRef), Vec<Msg>>,
+    /// Replies to the client, in generation order (see [`Action::ClientRecv`]).
+    pub client_inbox: Vec<Msg>,
+    /// Last key-values observed by the client (per key).
+    pub prev_kv: Vec<(u8, u64)>,
+    /// Current key-values observed by the client (per key).
+    pub curr_kv: Vec<(u8, u64)>,
+    /// Failures so far.
+    pub failed_count: usize,
+    /// Adversarial channel operations so far.
+    pub channel_ops: usize,
+    /// Client writes issued so far (bounds the version space).
+    pub writes_issued: u64,
+}
+
+impl ModelState {
+    /// The initial state for `config`.
+    pub fn initial(config: &ModelConfig) -> Self {
+        ModelState {
+            mem: vec![vec![(0, 0); config.keys]; config.num_switches()],
+            status: vec![SwitchStatus::Alive; config.num_switches()],
+            read_fwd: vec![None; config.num_switches()],
+            write_fwd: vec![None; config.num_switches()],
+            channels: BTreeMap::new(),
+            client_inbox: Vec::new(),
+            prev_kv: vec![(0, 0); config.keys],
+            curr_kv: vec![(0, 0); config.keys],
+            failed_count: 0,
+            channel_ops: 0,
+            writes_issued: 0,
+        }
+    }
+
+    fn channel(&self, from: NodeRef, to: NodeRef) -> &[Msg] {
+        self.channels
+            .get(&(from, to))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn push(&mut self, from: NodeRef, to: NodeRef, msg: Msg) {
+        self.channels.entry((from, to)).or_default().push(msg);
+    }
+
+    fn push_reply(&mut self, msg: Msg) {
+        self.client_inbox.push(msg);
+    }
+
+    fn pop(&mut self, from: NodeRef, to: NodeRef) -> Option<Msg> {
+        let queue = self.channels.get_mut(&(from, to))?;
+        if queue.is_empty() {
+            return None;
+        }
+        let msg = queue.remove(0);
+        if queue.is_empty() {
+            self.channels.remove(&(from, to));
+        }
+        Some(msg)
+    }
+
+    /// The chain as switch indices, head first.
+    pub fn chain(config: &ModelConfig) -> Vec<usize> {
+        (0..config.chain_len).collect()
+    }
+
+    /// Resolves a chain member to the endpoint that currently plays its role:
+    /// itself if alive, its recovery target if recovered, `Client` (meaning
+    /// "gone") if failed and not recovered. Mirrors the TLA+ helper used by
+    /// `UpdatePropagation`.
+    pub fn effective(&self, switch: usize) -> NodeRef {
+        match self.status[switch] {
+            SwitchStatus::Alive => NodeRef::Switch(switch),
+            SwitchStatus::Recovered => self.write_fwd[switch].unwrap_or(NodeRef::Client),
+            SwitchStatus::Failed => NodeRef::Client,
+        }
+    }
+
+    /// The **Consistency** invariant: client-observed versions never regress.
+    pub fn consistency_holds(&self) -> bool {
+        self.prev_kv
+            .iter()
+            .zip(&self.curr_kv)
+            .all(|(prev, curr)| prev.1 <= curr.1)
+    }
+
+    /// The **UpdatePropagation** invariant (Invariant 1): for any two chain
+    /// positions `i < j`, the version stored at the (effective) switch for
+    /// `i` is at least the version at the (effective) switch for `j`.
+    pub fn update_propagation_holds(&self, config: &ModelConfig) -> bool {
+        let chain = Self::chain(config);
+        for key in 0..config.keys {
+            for (a, &up) in chain.iter().enumerate() {
+                for &down in chain.iter().skip(a + 1) {
+                    let (up_node, down_node) = (self.effective(up), self.effective(down));
+                    let (NodeRef::Switch(u), NodeRef::Switch(d)) = (up_node, down_node) else {
+                        continue; // a failed, unrecovered member is exempt
+                    };
+                    if self.mem[u][key].1 < self.mem[d][key].1 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Every enabled action in this state under `config`.
+    pub fn enabled_actions(&self, config: &ModelConfig) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let chain = Self::chain(config);
+        let tail = *chain.last().expect("chains are non-empty");
+        let client_can_queue = |to: NodeRef| self.channel(NodeRef::Client, to).len() < config.max_queue;
+        // Bounding the client inbox keeps the explored state space finite:
+        // the client stops issuing queries while it has unconsumed replies
+        // beyond the queue bound (the TLA+ spec achieves the same effect with
+        // its qConstraint state constraint).
+        let inbox_ok = self.client_inbox.len() < config.max_queue;
+
+        // Client sends.
+        for key in 0..config.keys {
+            if inbox_ok && client_can_queue(NodeRef::Switch(tail)) {
+                actions.push(Action::ClientSendRead { key });
+            }
+            if inbox_ok
+                && self.writes_issued < config.max_version
+                && client_can_queue(NodeRef::Switch(chain[0]))
+            {
+                for val in 1..=config.values {
+                    actions.push(Action::ClientSendWrite { key, val });
+                }
+            }
+        }
+        // Client receives.
+        if !self.client_inbox.is_empty() {
+            actions.push(Action::ClientRecv);
+        }
+        // Switch processing: any non-empty channel into a switch.
+        for s in 0..config.num_switches() {
+            let sources: Vec<NodeRef> = (0..config.num_switches())
+                .map(NodeRef::Switch)
+                .chain([NodeRef::Client])
+                .collect();
+            for from in sources {
+                if from != NodeRef::Switch(s) && !self.channel(from, NodeRef::Switch(s)).is_empty()
+                {
+                    actions.push(Action::SwitchProcess { switch: s, from });
+                }
+            }
+        }
+        // Adversarial channel operations.
+        if self.channel_ops < config.max_channel_ops {
+            for (&(from, to), queue) in &self.channels {
+                if queue.is_empty() {
+                    continue;
+                }
+                actions.push(Action::ChannelDrop { from, to });
+                if queue.len() < config.max_queue {
+                    actions.push(Action::ChannelDuplicate { from, to });
+                }
+                if queue.len() > 1 {
+                    actions.push(Action::ChannelReorder { from, to });
+                }
+            }
+        }
+        // Failures.
+        if self.failed_count < config.max_failures {
+            for &s in &chain {
+                if self.status[s] == SwitchStatus::Alive {
+                    actions.push(Action::SwitchFail { switch: s });
+                }
+            }
+        }
+        // Recoveries.
+        for &s in &chain {
+            if self.status[s] == SwitchStatus::Failed {
+                for spare in config.chain_len..config.num_switches() {
+                    let spare_in_use = (0..config.num_switches())
+                        .any(|x| self.write_fwd[x] == Some(NodeRef::Switch(spare)));
+                    if !spare_in_use {
+                        actions.push(Action::SwitchRecover { switch: s, spare });
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    /// Applies `action`, returning the successor state.
+    pub fn apply(&self, config: &ModelConfig, action: &Action) -> ModelState {
+        let mut next = self.clone();
+        let chain = Self::chain(config);
+        let head = chain[0];
+        let tail = *chain.last().expect("non-empty");
+        match action {
+            Action::ClientSendRead { key } => {
+                let hops: Vec<usize> = chain.iter().rev().skip(1).copied().collect();
+                next.push(NodeRef::Client, NodeRef::Switch(tail), Msg::Read { key: *key, hops });
+            }
+            Action::ClientSendWrite { key, val } => {
+                next.writes_issued += 1;
+                let hops: Vec<usize> = chain[1..].to_vec();
+                next.push(
+                    NodeRef::Client,
+                    NodeRef::Switch(head),
+                    Msg::Write {
+                        key: *key,
+                        val: *val,
+                        ver: 0,
+                        hops,
+                    },
+                );
+            }
+            Action::ClientRecv => {
+                if !next.client_inbox.is_empty() {
+                    if let Msg::Reply { key, val, ver } = next.client_inbox.remove(0) {
+                        next.prev_kv[key] = next.curr_kv[key];
+                        next.curr_kv[key] = (val, ver);
+                    }
+                }
+            }
+            Action::SwitchProcess { switch, from } => {
+                if let Some(msg) = next.pop(*from, NodeRef::Switch(*switch)) {
+                    next.process(config, *switch, msg);
+                }
+            }
+            Action::ChannelDrop { from, to } => {
+                next.pop(*from, *to);
+                next.channel_ops += 1;
+            }
+            Action::ChannelDuplicate { from, to } => {
+                if let Some(head_msg) = next.channel(*from, *to).first().cloned() {
+                    next.push(*from, *to, head_msg);
+                }
+                next.channel_ops += 1;
+            }
+            Action::ChannelReorder { from, to } => {
+                if let Some(head_msg) = next.pop(*from, *to) {
+                    next.push(*from, *to, head_msg);
+                }
+                next.channel_ops += 1;
+            }
+            Action::SwitchFail { switch } => {
+                let s = *switch;
+                next.status[s] = SwitchStatus::Failed;
+                next.failed_count += 1;
+                let pos = chain.iter().position(|&x| x == s).expect("chain member");
+                next.read_fwd[s] = if pos == 0 {
+                    Some(NodeRef::Client)
+                } else {
+                    Some(NodeRef::Switch(chain[pos - 1]))
+                };
+                next.write_fwd[s] = if pos + 1 == chain.len() {
+                    Some(NodeRef::Client)
+                } else {
+                    Some(NodeRef::Switch(chain[pos + 1]))
+                };
+                // Traffic caught inside the failed switch's queues is lost.
+                next.channels.retain(|(from, to), _| {
+                    *from != NodeRef::Switch(s) && *to != NodeRef::Switch(s)
+                });
+            }
+            Action::SwitchRecover { switch, spare } => {
+                let s = *switch;
+                let pos = chain.iter().position(|&x| x == s).expect("chain member");
+                // Copy memory to the spare from the live neighbour the spec
+                // picks: the predecessor for a failed tail, the successor
+                // otherwise.
+                let source = if pos + 1 == chain.len() {
+                    self.prev_alive(config, pos)
+                } else {
+                    self.next_alive(config, pos)
+                };
+                if let NodeRef::Switch(src) = source {
+                    next.mem[*spare] = next.mem[src].clone();
+                    // Both the spare and the source shed any in-flight state.
+                    next.channels.retain(|(from, to), _| {
+                        *from != NodeRef::Switch(*spare)
+                            && *to != NodeRef::Switch(*spare)
+                            && *from != NodeRef::Switch(src)
+                            && *to != NodeRef::Switch(src)
+                    });
+                }
+                next.status[s] = SwitchStatus::Recovered;
+                next.read_fwd[s] = Some(NodeRef::Switch(*spare));
+                next.write_fwd[s] = Some(NodeRef::Switch(*spare));
+            }
+        }
+        next
+    }
+
+    fn next_alive(&self, config: &ModelConfig, pos: usize) -> NodeRef {
+        let chain = Self::chain(config);
+        for &candidate in chain.iter().skip(pos + 1) {
+            match self.status[candidate] {
+                SwitchStatus::Alive => return NodeRef::Switch(candidate),
+                SwitchStatus::Recovered => {
+                    return self.write_fwd[candidate].unwrap_or(NodeRef::Client)
+                }
+                SwitchStatus::Failed => continue,
+            }
+        }
+        NodeRef::Client
+    }
+
+    fn prev_alive(&self, config: &ModelConfig, pos: usize) -> NodeRef {
+        let chain = Self::chain(config);
+        for &candidate in chain.iter().take(pos).rev() {
+            match self.status[candidate] {
+                SwitchStatus::Alive => return NodeRef::Switch(candidate),
+                SwitchStatus::Recovered => {
+                    return self.write_fwd[candidate].unwrap_or(NodeRef::Client)
+                }
+                SwitchStatus::Failed => continue,
+            }
+        }
+        NodeRef::Client
+    }
+
+    /// Switch `s` processes `msg` (Algorithm 1 in the abstract model, plus
+    /// the failed-switch forwarding of the TLA+ spec).
+    fn process(&mut self, config: &ModelConfig, s: usize, msg: Msg) {
+        match self.status[s] {
+            SwitchStatus::Alive => match msg {
+                Msg::Read { key, .. } => {
+                    let (val, ver) = self.mem[s][key];
+                    self.push_reply(Msg::Reply { key, val, ver });
+                }
+                Msg::Write {
+                    key,
+                    val,
+                    ver,
+                    hops,
+                } => {
+                    let assigned = if ver == 0 { self.mem[s][key].1 + 1 } else { ver };
+                    if assigned > self.mem[s][key].1 {
+                        self.mem[s][key] = (val, assigned);
+                        if let Some((&next_hop, rest)) = hops.split_first() {
+                            self.push(
+                                NodeRef::Switch(s),
+                                NodeRef::Switch(next_hop),
+                                Msg::Write {
+                                    key,
+                                    val,
+                                    ver: assigned,
+                                    hops: rest.to_vec(),
+                                },
+                            );
+                        } else {
+                            self.push_reply(Msg::Reply {
+                                key,
+                                val,
+                                ver: assigned,
+                            });
+                        }
+                    }
+                    // Stale writes are dropped silently (Algorithm 1 line 13).
+                }
+                Msg::Reply { .. } => {}
+            },
+            SwitchStatus::Failed | SwitchStatus::Recovered => {
+                // The failed switch no longer processes; its neighbours (here
+                // folded into the forwarding pointers, as in the TLA+ spec)
+                // steer the message onwards.
+                let _ = config;
+                match msg {
+                    Msg::Read { key, mut hops } => {
+                        let target = self.read_fwd[s].unwrap_or(NodeRef::Client);
+                        match target {
+                            NodeRef::Switch(next_sw) => {
+                                if !hops.is_empty() {
+                                    hops.remove(0);
+                                }
+                                self.push(
+                                    NodeRef::Switch(s),
+                                    NodeRef::Switch(next_sw),
+                                    Msg::Read { key, hops },
+                                );
+                            }
+                            NodeRef::Client => {
+                                // No live replica can answer; the query is lost
+                                // and the client would retry.
+                            }
+                        }
+                    }
+                    Msg::Write {
+                        key,
+                        val,
+                        ver,
+                        mut hops,
+                    } => {
+                        let target = self.write_fwd[s].unwrap_or(NodeRef::Client);
+                        match target {
+                            NodeRef::Switch(next_sw) => {
+                                if self.status[s] == SwitchStatus::Failed && !hops.is_empty() {
+                                    hops.remove(0);
+                                }
+                                self.push(
+                                    NodeRef::Switch(s),
+                                    NodeRef::Switch(next_sw),
+                                    Msg::Write { key, val, ver, hops },
+                                );
+                            }
+                            NodeRef::Client => {}
+                        }
+                    }
+                    Msg::Reply { .. } => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ModelConfig {
+        ModelConfig::default()
+    }
+
+    #[test]
+    fn initial_state_satisfies_invariants() {
+        let c = config();
+        let s = ModelState::initial(&c);
+        assert!(s.consistency_holds());
+        assert!(s.update_propagation_holds(&c));
+        assert!(!s.enabled_actions(&c).is_empty());
+    }
+
+    #[test]
+    fn write_propagates_down_the_chain_and_replies() {
+        let c = config();
+        let mut s = ModelState::initial(&c);
+        s = s.apply(&c, &Action::ClientSendWrite { key: 0, val: 1 });
+        // Head processes, forwards to 1, then 2, which replies.
+        s = s.apply(&c, &Action::SwitchProcess { switch: 0, from: NodeRef::Client });
+        assert_eq!(s.mem[0][0], (1, 1));
+        s = s.apply(&c, &Action::SwitchProcess { switch: 1, from: NodeRef::Switch(0) });
+        s = s.apply(&c, &Action::SwitchProcess { switch: 2, from: NodeRef::Switch(1) });
+        assert_eq!(s.mem[2][0], (1, 1));
+        assert!(s.update_propagation_holds(&c));
+        s = s.apply(&c, &Action::ClientRecv);
+        assert_eq!(s.curr_kv[0], (1, 1));
+        assert!(s.consistency_holds());
+    }
+
+    #[test]
+    fn stale_write_is_ignored_by_replicas() {
+        let c = config();
+        let mut s = ModelState::initial(&c);
+        // Two writes race; the second overtakes the first at switch 1.
+        s = s.apply(&c, &Action::ClientSendWrite { key: 0, val: 1 });
+        s = s.apply(&c, &Action::ClientSendWrite { key: 0, val: 2 });
+        s = s.apply(&c, &Action::SwitchProcess { switch: 0, from: NodeRef::Client });
+        s = s.apply(&c, &Action::SwitchProcess { switch: 0, from: NodeRef::Client });
+        // Reorder the channel 0 -> 1 so version 2 arrives first.
+        s = s.apply(&c, &Action::ChannelReorder { from: NodeRef::Switch(0), to: NodeRef::Switch(1) });
+        s = s.apply(&c, &Action::SwitchProcess { switch: 1, from: NodeRef::Switch(0) });
+        assert_eq!(s.mem[1][0].1, 2, "newer version applied first");
+        s = s.apply(&c, &Action::SwitchProcess { switch: 1, from: NodeRef::Switch(0) });
+        assert_eq!(s.mem[1][0].1, 2, "stale version must not regress the replica");
+        assert!(s.update_propagation_holds(&c));
+    }
+
+    #[test]
+    fn failure_and_recovery_keep_invariants() {
+        let c = config();
+        let mut s = ModelState::initial(&c);
+        s = s.apply(&c, &Action::ClientSendWrite { key: 0, val: 2 });
+        s = s.apply(&c, &Action::SwitchProcess { switch: 0, from: NodeRef::Client });
+        s = s.apply(&c, &Action::SwitchProcess { switch: 1, from: NodeRef::Switch(0) });
+        s = s.apply(&c, &Action::SwitchProcess { switch: 2, from: NodeRef::Switch(1) });
+        s = s.apply(&c, &Action::SwitchFail { switch: 1 });
+        assert_eq!(s.status[1], SwitchStatus::Failed);
+        assert!(s.update_propagation_holds(&c));
+        s = s.apply(&c, &Action::SwitchRecover { switch: 1, spare: 3 });
+        assert_eq!(s.status[1], SwitchStatus::Recovered);
+        // The spare copied its memory from the chain successor (switch 2).
+        assert_eq!(s.mem[3][0], s.mem[2][0]);
+        assert!(s.update_propagation_holds(&c));
+        assert!(s.consistency_holds());
+    }
+
+    #[test]
+    fn enabled_actions_respect_bounds() {
+        let c = ModelConfig {
+            max_channel_ops: 0,
+            max_failures: 0,
+            ..ModelConfig::default()
+        };
+        let s = ModelState::initial(&c);
+        let actions = s.enabled_actions(&c);
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, Action::SwitchFail { .. } | Action::ChannelDrop { .. })));
+    }
+}

@@ -1,0 +1,274 @@
+//! Assembling a loopback deployment: emulated switches, a consistent-hash
+//! ring, and socket-based clients reusing the sans-IO agent core.
+
+use crate::emuswitch::SwitchHandle;
+use netchain_core::{AgentConfig, AgentCore, ChainDirectory, CompletedQuery, HashRing, KvOp};
+use netchain_sim::{SimDuration, SimTime};
+use netchain_switch::{NetChainSwitch, PipelineConfig};
+use netchain_wire::{Ipv4Addr, Key, NetChainPacket, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a loopback deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct DeploymentConfig {
+    /// Number of emulated switches.
+    pub switches: usize,
+    /// Chain length (`f + 1`).
+    pub replication: usize,
+    /// Virtual nodes per switch.
+    pub vnodes_per_switch: usize,
+    /// Pipeline geometry of each switch.
+    pub pipeline: PipelineConfig,
+    /// Ring placement seed.
+    pub ring_seed: u64,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            switches: 3,
+            replication: 3,
+            vnodes_per_switch: 8,
+            pipeline: PipelineConfig::tofino_prototype(),
+            ring_seed: 7,
+        }
+    }
+}
+
+/// A running loopback deployment.
+pub struct Deployment {
+    switches: Vec<SwitchHandle>,
+    ring: HashRing,
+    routes: Arc<RwLock<HashMap<Ipv4Addr, SocketAddr>>>,
+    next_client: u32,
+}
+
+impl Deployment {
+    /// Binds sockets, spawns switch threads and builds the ring.
+    pub fn start(config: DeploymentConfig) -> std::io::Result<Self> {
+        assert!(
+            config.switches >= config.replication,
+            "need at least as many switches as the replication factor"
+        );
+        // Bind all sockets first so every switch knows every address.
+        let sockets: Vec<UdpSocket> = (0..config.switches)
+            .map(|_| UdpSocket::bind("127.0.0.1:0"))
+            .collect::<std::io::Result<_>>()?;
+        let switch_ips: Vec<Ipv4Addr> = (0..config.switches)
+            .map(|i| Ipv4Addr::for_switch(i as u32))
+            .collect();
+        let mut route_table: HashMap<Ipv4Addr, SocketAddr> = HashMap::new();
+        for (ip, socket) in switch_ips.iter().zip(&sockets) {
+            route_table.insert(*ip, socket.local_addr()?);
+        }
+        let routes = Arc::new(RwLock::new(route_table));
+        let mut switches = Vec::with_capacity(config.switches);
+        for (ip, socket) in switch_ips.iter().zip(sockets) {
+            let data_plane = NetChainSwitch::new(*ip, config.pipeline);
+            switches.push(SwitchHandle::spawn(data_plane, socket, Arc::clone(&routes))?);
+        }
+        let ring = HashRing::new(
+            switch_ips,
+            config.vnodes_per_switch,
+            config.replication,
+            config.ring_seed,
+        );
+        Ok(Deployment {
+            switches,
+            ring,
+            routes,
+            next_client: 0,
+        })
+    }
+
+    /// The consistent-hash ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Handles of the running switches.
+    pub fn switches(&self) -> &[SwitchHandle] {
+        &self.switches
+    }
+
+    /// Installs a key on every switch of its chain (the controller's `Insert`
+    /// path) and returns the chain.
+    pub fn populate_key(&self, key: Key, value: &Value) -> Vec<Ipv4Addr> {
+        let chain = self.ring.chain_for_key(&key);
+        for handle in &self.switches {
+            if chain.contains(handle.ip()) {
+                handle.with_switch(|sw| {
+                    let _ = sw.kv_mut().insert(key, value);
+                });
+            }
+        }
+        chain.switches
+    }
+
+    /// Creates a socket-based client agent for this deployment.
+    pub fn client(&mut self) -> std::io::Result<LoopbackClient> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let client_ip = Ipv4Addr::for_host(self.next_client);
+        self.next_client += 1;
+        // Register the client so tail switches can route replies back to it.
+        self.routes
+            .write()
+            .insert(client_ip, socket.local_addr()?);
+        let config = AgentConfig::new(client_ip)
+            .with_timeout(SimDuration::from_millis(50))
+            .with_max_retries(5);
+        let agent = AgentCore::new(config, ChainDirectory::new(self.ring.clone()));
+        Ok(LoopbackClient {
+            socket,
+            agent,
+            routes: Arc::clone(&self.routes),
+            epoch: Instant::now(),
+        })
+    }
+}
+
+/// A client issuing NetChain operations over real loopback sockets.
+pub struct LoopbackClient {
+    socket: UdpSocket,
+    agent: AgentCore,
+    routes: Arc<RwLock<HashMap<Ipv4Addr, SocketAddr>>>,
+    epoch: Instant,
+}
+
+impl LoopbackClient {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn transmit(&self, pkt: &NetChainPacket) -> std::io::Result<()> {
+        let dest = self.routes.read().get(&pkt.ip.dst).copied();
+        let Some(dest) = dest else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                format!("no socket registered for {}", pkt.ip.dst),
+            ));
+        };
+        self.socket.send_to(&pkt.to_bytes(), &dest)?;
+        Ok(())
+    }
+
+    /// Executes one operation synchronously, retrying on timeout, and returns
+    /// the completed query (or an error if the overall deadline expires).
+    pub fn execute(&mut self, op: KvOp, deadline: Duration) -> std::io::Result<CompletedQuery> {
+        let start = Instant::now();
+        let (request_id, pkt) = self.agent.begin(self.now(), op);
+        self.transmit(&pkt)?;
+        let mut buf = [0u8; 2048];
+        loop {
+            if start.elapsed() > deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "operation deadline exceeded",
+                ));
+            }
+            match self.socket.recv_from(&mut buf) {
+                Ok((len, _)) => {
+                    if let Ok(reply) = NetChainPacket::from_bytes(&buf[..len]) {
+                        if let Some(done) = self.agent.on_reply(self.now(), &reply) {
+                            if done.request_id == request_id {
+                                return Ok(done);
+                            }
+                        }
+                    }
+                }
+                Err(ref e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(e),
+            }
+            // Drive retransmissions for anything that timed out.
+            let outcome = self.agent.poll_retries(self.now());
+            for retry in outcome.retransmit {
+                self.transmit(&retry)?;
+            }
+            if !outcome.abandoned.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "operation abandoned after retries",
+                ));
+            }
+        }
+    }
+
+    /// Convenience: write a value.
+    pub fn write(&mut self, key: Key, value: Value) -> std::io::Result<CompletedQuery> {
+        self.execute(KvOp::Write(key, value), Duration::from_secs(2))
+    }
+
+    /// Convenience: read a value.
+    pub fn read(&mut self, key: Key) -> std::io::Result<CompletedQuery> {
+        self.execute(KvOp::Read(key), Duration::from_secs(2))
+    }
+
+    /// Convenience: compare-and-swap.
+    pub fn cas(&mut self, key: Key, expected: u64, new: u64) -> std::io::Result<CompletedQuery> {
+        self.execute(
+            KvOp::Cas { key, expected, new },
+            Duration::from_secs(2),
+        )
+    }
+
+    /// Agent statistics (retries, latency, version regressions).
+    pub fn agent_stats(&self) -> &netchain_core::AgentStats {
+        self.agent.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netchain_wire::QueryStatus;
+
+    #[test]
+    fn write_read_and_cas_over_real_sockets() {
+        let mut deployment = Deployment::start(DeploymentConfig::default()).expect("bind loopback");
+        let key = Key::from_name("loopback-demo");
+        let chain = deployment.populate_key(key, &Value::from_u64(0));
+        assert_eq!(chain.len(), 3);
+
+        let mut client = deployment.client().expect("client socket");
+        let write = client.write(key, Value::from_u64(99)).expect("write");
+        assert_eq!(write.status, Some(QueryStatus::Ok));
+        let read = client.read(key).expect("read");
+        assert_eq!(read.value.as_u64(), Some(99));
+        assert!(read.seq >= 1);
+
+        // Lock-style CAS: succeeds, then conflicts.
+        let lock = Key::from_name("loopback-lock");
+        deployment.populate_key(lock, &Value::from_u64(0));
+        let acquired = client.cas(lock, 0, 7).expect("cas");
+        assert_eq!(acquired.status, Some(QueryStatus::Ok));
+        let contended = client.cas(lock, 0, 8).expect("cas");
+        assert_eq!(contended.status, Some(QueryStatus::CasFailed));
+        assert_eq!(client.agent_stats().version_regressions, 0);
+    }
+
+    #[test]
+    fn every_chain_replica_converges_after_a_write() {
+        let mut deployment = Deployment::start(DeploymentConfig::default()).expect("bind loopback");
+        let key = Key::from_name("converge");
+        deployment.populate_key(key, &Value::from_u64(1));
+        let mut client = deployment.client().expect("client socket");
+        client.write(key, Value::from_u64(5)).expect("write");
+        // The write reply comes from the tail, so by chain replication every
+        // replica already applied it.
+        for handle in deployment.switches() {
+            let stored = handle.with_switch(|sw| {
+                sw.kv().lookup(&key).map(|slot| sw.kv().read_value(slot))
+            });
+            if let Some(value) = stored {
+                assert_eq!(value.as_u64(), Some(5));
+            }
+        }
+    }
+}

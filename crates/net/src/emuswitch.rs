@@ -1,0 +1,108 @@
+//! A NetChain switch emulated on a loopback UDP socket.
+//!
+//! The full wire packet (Ethernet + IPv4 + UDP + NetChain header, exactly as
+//! `netchain-wire` emits it) is carried as the payload of a real UDP
+//! datagram. The emulated switch parses it, runs the data-plane program, and
+//! re-emits the rewritten packet towards whatever socket currently stands in
+//! for the destination IP.
+
+use netchain_switch::{NetChainSwitch, SwitchAction};
+use netchain_wire::{Ipv4Addr, NetChainPacket};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A handle to a running emulated switch: the data plane is shared with the
+/// forwarding thread behind a mutex so the control plane (the deployment,
+/// playing the controller's role) can program tables and read statistics
+/// while traffic flows.
+pub struct SwitchHandle {
+    ip: Ipv4Addr,
+    addr: SocketAddr,
+    switch: Arc<Mutex<NetChainSwitch>>,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SwitchHandle {
+    /// Spawns the forwarding thread for `switch` on `socket`, forwarding
+    /// rewritten packets according to `routes` (virtual IP → real socket).
+    /// The route table is shared so the deployment can register client
+    /// sockets after the switches are already running.
+    pub fn spawn(
+        switch: NetChainSwitch,
+        socket: UdpSocket,
+        routes: Arc<RwLock<HashMap<Ipv4Addr, SocketAddr>>>,
+    ) -> std::io::Result<Self> {
+        let ip = switch.ip();
+        let addr = socket.local_addr()?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let switch = Arc::new(Mutex::new(switch));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread_switch = Arc::clone(&switch);
+        let thread_shutdown = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name(format!("netchain-switch-{ip}"))
+            .spawn(move || {
+                let mut buf = [0u8; 2048];
+                while !thread_shutdown.load(Ordering::Relaxed) {
+                    let len = match socket.recv_from(&mut buf) {
+                        Ok((len, _)) => len,
+                        Err(ref e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue
+                        }
+                        Err(_) => break,
+                    };
+                    let Ok(pkt) = NetChainPacket::from_bytes(&buf[..len]) else {
+                        continue;
+                    };
+                    let action = thread_switch.lock().handle(pkt);
+                    if let SwitchAction::Forward(out) = action {
+                        let dest = routes.read().get(&out.ip.dst).copied();
+                        if let Some(dest) = dest {
+                            let _ = socket.send_to(&out.to_bytes(), &dest);
+                        }
+                    }
+                }
+            })?;
+        Ok(SwitchHandle {
+            ip,
+            addr,
+            switch,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The switch's virtual IP.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip
+    }
+
+    /// The real socket address the switch listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Control-plane access to the data plane (install keys, rules, read
+    /// statistics) — the role the switch OS agent plays in the prototype.
+    pub fn with_switch<R>(&self, f: impl FnOnce(&mut NetChainSwitch) -> R) -> R {
+        f(&mut self.switch.lock())
+    }
+}
+
+impl Drop for SwitchHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # netchain-net
+//!
+//! A *real-network* deployment mode: every NetChain switch is emulated by a
+//! thread owning a UDP socket on loopback, parsing the exact
+//! [`netchain_wire`] byte format and running the same
+//! [`netchain_switch::NetChainSwitch`] data-plane program the simulator uses.
+//! A socket-based client agent reuses the sans-IO [`netchain_core::AgentCore`]
+//! for packet construction, reply matching and retries.
+//!
+//! This mode exists to demonstrate that the protocol implementation is not a
+//! simulator artifact: the same bytes flow through real sockets, the same
+//! destination-IP rewriting steers queries along the chain (here realised as
+//! a UDP-port hop table, since all emulated switches share the loopback
+//! address), and the same consistency machinery applies. It is obviously not
+//! a performance platform — kernel UDP on one machine is millions of times
+//! slower than a Tofino — and the throughput experiments never use it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod emuswitch;
+
+pub use deployment::{Deployment, DeploymentConfig, LoopbackClient};
+pub use emuswitch::SwitchHandle;

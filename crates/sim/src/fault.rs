@@ -1,0 +1,86 @@
+//! Fault injection: scheduled fail-stop node failures and recoveries.
+//!
+//! The paper's failure model (§5) is fail-stop with failures detected by the
+//! controller; the plan here schedules when a node stops (it silently drops
+//! all traffic and its timers no longer fire) and when it comes back. The
+//! simulator separately notifies surviving nodes after the configured
+//! detection delay, modelling "failures are detected by the network
+//! controller using existing techniques".
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// One scheduled fault action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The node fail-stops at the given time.
+    Fail(NodeId),
+    /// The node rejoins (empty state, links restored) at the given time.
+    Recover(NodeId),
+}
+
+/// A time-ordered schedule of fault actions.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a fail-stop of `node` at `at`.
+    pub fn fail_at(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events.push((at, FaultAction::Fail(node)));
+        self
+    }
+
+    /// Schedules a recovery of `node` at `at`.
+    pub fn recover_at(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events.push((at, FaultAction::Recover(node)));
+        self
+    }
+
+    /// The scheduled actions sorted by time (stable for equal times).
+    pub fn events(&self) -> Vec<(SimTime, FaultAction)> {
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        sorted
+    }
+
+    /// Number of scheduled actions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn plan_orders_events_by_time() {
+        let plan = FaultPlan::none()
+            .recover_at(SimTime::ZERO + SimDuration::from_secs(40), NodeId(1))
+            .fail_at(SimTime::ZERO + SimDuration::from_secs(20), NodeId(1));
+        assert_eq!(plan.len(), 2);
+        let events = plan.events();
+        assert_eq!(events[0].1, FaultAction::Fail(NodeId(1)));
+        assert_eq!(events[1].1, FaultAction::Recover(NodeId(1)));
+        assert!(events[0].0 < events[1].0);
+    }
+
+    #[test]
+    fn empty_plan() {
+        assert!(FaultPlan::none().is_empty());
+        assert_eq!(FaultPlan::none().events(), Vec::new());
+    }
+}

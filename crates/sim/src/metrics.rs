@@ -1,0 +1,221 @@
+//! Measurement helpers used by nodes and experiment harnesses: event
+//! counters, time-bucketed throughput series (for the failure-handling time
+//! series of Figure 10) and latency statistics (for Figure 9(e)).
+
+use crate::time::{SimDuration, SimTime};
+
+/// A simple named counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Counts events into fixed-width time buckets and reports a rate series.
+///
+/// This is how the failure-handling experiment reproduces the "throughput
+/// time series of one client server" plots (Figure 10).
+#[derive(Debug, Clone)]
+pub struct ThroughputSeries {
+    bucket_width: SimDuration,
+    buckets: Vec<u64>,
+}
+
+impl ThroughputSeries {
+    /// Creates a series with the given bucket width.
+    pub fn new(bucket_width: SimDuration) -> Self {
+        assert!(bucket_width.as_nanos() > 0, "bucket width must be non-zero");
+        ThroughputSeries {
+            bucket_width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Records one event at simulated time `at`.
+    pub fn record(&mut self, at: SimTime) {
+        self.record_n(at, 1);
+    }
+
+    /// Records `n` events at simulated time `at`.
+    pub fn record_n(&mut self, at: SimTime, n: u64) {
+        let idx = (at.as_nanos() / self.bucket_width.as_nanos()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The series as `(bucket start time in seconds, events per second)`.
+    pub fn rate_series(&self) -> Vec<(f64, f64)> {
+        let width_s = self.bucket_width.as_secs_f64();
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| (i as f64 * width_s, count as f64 / width_s))
+            .collect()
+    }
+
+    /// Average rate (events per second) over `[0, end]`.
+    pub fn average_rate(&self, end: SimTime) -> f64 {
+        let secs = end.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total() as f64 / secs
+        }
+    }
+}
+
+/// Collects latency samples and reports summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples_ns: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples_ns.push(latency.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Arithmetic mean, or `None` if no samples were recorded.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples_ns.iter().map(|&v| u128::from(v)).sum();
+        Some(SimDuration::from_nanos(
+            (sum / self.samples_ns.len() as u128) as u64,
+        ))
+    }
+
+    /// The `p`-th percentile (0 < p <= 100) using nearest-rank, or `None` if
+    /// no samples were recorded.
+    pub fn percentile(&mut self, p: f64) -> Option<SimDuration> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        if !self.sorted {
+            self.samples_ns.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples_ns.len() as f64).ceil() as usize;
+        let idx = rank.clamp(1, self.samples_ns.len()) - 1;
+        Some(SimDuration::from_nanos(self.samples_ns[idx]))
+    }
+
+    /// Median latency.
+    pub fn median(&mut self) -> Option<SimDuration> {
+        self.percentile(50.0)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.samples_ns.iter().min().map(|&v| SimDuration::from_nanos(v))
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples_ns.iter().max().map(|&v| SimDuration::from_nanos(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn throughput_series_buckets_events() {
+        let mut s = ThroughputSeries::new(SimDuration::from_secs(1));
+        s.record(SimTime::ZERO);
+        s.record(SimTime::ZERO + SimDuration::from_millis(400));
+        s.record(SimTime::ZERO + SimDuration::from_millis(1700));
+        s.record_n(SimTime::ZERO + SimDuration::from_millis(2100), 10);
+        assert_eq!(s.total(), 13);
+        let series = s.rate_series();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0], (0.0, 2.0));
+        assert_eq!(series[1], (1.0, 1.0));
+        assert_eq!(series[2], (2.0, 10.0));
+        let avg = s.average_rate(SimTime::ZERO + SimDuration::from_secs(13));
+        assert!((avg - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bucket_width_rejected() {
+        ThroughputSeries::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn latency_stats_percentiles() {
+        let mut l = LatencyStats::new();
+        assert_eq!(l.mean(), None);
+        for us in 1..=100u64 {
+            l.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(l.count(), 100);
+        assert_eq!(l.mean(), Some(SimDuration::from_nanos(50_500)));
+        assert_eq!(l.percentile(50.0), Some(SimDuration::from_micros(50)));
+        assert_eq!(l.percentile(99.0), Some(SimDuration::from_micros(99)));
+        assert_eq!(l.percentile(100.0), Some(SimDuration::from_micros(100)));
+        assert_eq!(l.min(), Some(SimDuration::from_micros(1)));
+        assert_eq!(l.max(), Some(SimDuration::from_micros(100)));
+        assert_eq!(l.median(), Some(SimDuration::from_micros(50)));
+    }
+
+    #[test]
+    fn percentile_of_single_sample() {
+        let mut l = LatencyStats::new();
+        l.record(SimDuration::from_micros(7));
+        assert_eq!(l.percentile(1.0), Some(SimDuration::from_micros(7)));
+        assert_eq!(l.percentile(99.9), Some(SimDuration::from_micros(7)));
+    }
+}

@@ -1,0 +1,199 @@
+//! Shortest-path routing tables with equal-cost multipath.
+//!
+//! NetChain builds its chain routing *on top of* the existing underlay routing
+//! (§4.2): a switch only decides "which neighbour gets a packet destined to
+//! IP X", and the chain logic merely rewrites X. This module computes those
+//! underlay next-hop tables by breadth-first search from every destination,
+//! keeping *all* equal-cost next hops so the data plane can hash across them
+//! like a real ECMP fabric.
+
+use crate::node::NodeId;
+use crate::topology::Topology;
+use std::collections::VecDeque;
+
+/// Per-node next-hop tables: `next_hops[node][dst]` is the sorted list of
+/// neighbours of `node` that lie on a shortest path towards `dst`.
+#[derive(Debug, Clone)]
+pub struct RoutingTables {
+    next_hops: Vec<Vec<Vec<NodeId>>>,
+    distance: Vec<Vec<u32>>,
+}
+
+/// Distance value meaning "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+impl RoutingTables {
+    /// Computes shortest-path (hop count) routing for the whole topology.
+    pub fn compute(topology: &Topology) -> Self {
+        let n = topology.num_nodes();
+        let mut next_hops = vec![vec![Vec::new(); n]; n];
+        let mut distance = vec![vec![UNREACHABLE; n]; n];
+        // BFS from every destination; a neighbour v of u is a valid next hop
+        // from u towards dst iff dist(v, dst) + 1 == dist(u, dst).
+        for dst in 0..n {
+            let dist = &mut distance[dst];
+            dist[dst] = 0;
+            let mut queue = VecDeque::from([NodeId(dst)]);
+            while let Some(u) = queue.pop_front() {
+                for &v in topology.neighbors(u) {
+                    if dist[v.index()] == UNREACHABLE {
+                        dist[v.index()] = dist[u.index()] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        for node in 0..n {
+            for dst in 0..n {
+                if node == dst || distance[dst][node] == UNREACHABLE {
+                    continue;
+                }
+                let mut hops: Vec<NodeId> = topology
+                    .neighbors(NodeId(node))
+                    .iter()
+                    .copied()
+                    .filter(|v| {
+                        distance[dst][v.index()] != UNREACHABLE
+                            && distance[dst][v.index()] + 1 == distance[dst][node]
+                    })
+                    .collect();
+                hops.sort();
+                next_hops[node][dst] = hops;
+            }
+        }
+        RoutingTables {
+            next_hops,
+            distance,
+        }
+    }
+
+    /// All equal-cost next hops from `node` towards `dst` (empty if
+    /// unreachable or if `node == dst`).
+    pub fn next_hops(&self, node: NodeId, dst: NodeId) -> &[NodeId] {
+        &self.next_hops[node.index()][dst.index()]
+    }
+
+    /// Picks one next hop deterministically from the ECMP set using a flow
+    /// hash (e.g. derived from the packet 5-tuple). Returns `None` if the
+    /// destination is unreachable from `node`.
+    pub fn next_hop(&self, node: NodeId, dst: NodeId, flow_hash: u64) -> Option<NodeId> {
+        let hops = self.next_hops(node, dst);
+        if hops.is_empty() {
+            None
+        } else {
+            Some(hops[(flow_hash % hops.len() as u64) as usize])
+        }
+    }
+
+    /// Hop-count distance from `node` to `dst` ([`UNREACHABLE`] if none).
+    pub fn distance(&self, node: NodeId, dst: NodeId) -> u32 {
+        self.distance[dst.index()][node.index()]
+    }
+
+    /// Enumerates one concrete shortest path from `src` to `dst` (choosing the
+    /// lowest-id next hop at every step). Useful for tests and for the
+    /// capacity model's hop accounting.
+    pub fn shortest_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if self.distance(src, dst) == UNREACHABLE {
+            return None;
+        }
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let next = *self.next_hops(cur, dst).first()?;
+            path.push(next);
+            cur = next;
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkParams;
+    use crate::topology::{Topology, TopologyBuilder};
+
+    #[test]
+    fn line_topology_routes_through_middle() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_switch("a");
+        let m = b.add_switch("m");
+        let c = b.add_switch("c");
+        b.add_link(a, m, LinkParams::ideal());
+        b.add_link(m, c, LinkParams::ideal());
+        let t = b.build();
+        let r = RoutingTables::compute(&t);
+        assert_eq!(r.next_hops(a, c), &[m]);
+        assert_eq!(r.distance(a, c), 2);
+        assert_eq!(r.shortest_path(a, c), Some(vec![a, m, c]));
+        assert_eq!(r.next_hop(a, a, 0), None);
+    }
+
+    #[test]
+    fn ecmp_returns_all_equal_cost_hops() {
+        // Diamond: a - {x, y} - b.
+        let mut bld = TopologyBuilder::new();
+        let a = bld.add_switch("a");
+        let x = bld.add_switch("x");
+        let y = bld.add_switch("y");
+        let b = bld.add_switch("b");
+        bld.add_link(a, x, LinkParams::ideal());
+        bld.add_link(a, y, LinkParams::ideal());
+        bld.add_link(x, b, LinkParams::ideal());
+        bld.add_link(y, b, LinkParams::ideal());
+        let t = bld.build();
+        let r = RoutingTables::compute(&t);
+        assert_eq!(r.next_hops(a, b), &[x, y]);
+        // Flow hashing is deterministic and spreads across both.
+        assert_eq!(r.next_hop(a, b, 0), Some(x));
+        assert_eq!(r.next_hop(a, b, 1), Some(y));
+        assert_eq!(r.distance(a, b), 2);
+    }
+
+    #[test]
+    fn disconnected_nodes_are_unreachable() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_switch("a");
+        let c = b.add_switch("c");
+        let t = b.build();
+        let r = RoutingTables::compute(&t);
+        assert_eq!(r.distance(a, c), UNREACHABLE);
+        assert!(r.next_hops(a, c).is_empty());
+        assert_eq!(r.shortest_path(a, c), None);
+    }
+
+    #[test]
+    fn testbed_paths_have_expected_lengths() {
+        let (t, layout) = Topology::netchain_testbed(LinkParams::datacenter_40g());
+        let r = RoutingTables::compute(&t);
+        let [s0, _s1, s2, _s3] = layout.switches;
+        let [h0, h1, ..] = layout.hosts;
+        // H0 -> H1 crosses S0, one of {S1,S3}, S2: 4 hops.
+        assert_eq!(r.distance(h0, h1), 4);
+        // S0 -> S2 has two equal-cost paths.
+        assert_eq!(r.next_hops(s0, s2).len(), 2);
+    }
+
+    #[test]
+    fn spine_leaf_any_host_pair_is_at_most_four_hops() {
+        let (t, layout) = Topology::spine_leaf(
+            4,
+            8,
+            2,
+            LinkParams::datacenter_100g(),
+            LinkParams::datacenter_40g(),
+        );
+        let r = RoutingTables::compute(&t);
+        let hosts = layout.all_hosts();
+        for &a in &hosts {
+            for &b in &hosts {
+                if a != b {
+                    assert!(r.distance(a, b) <= 4, "host pair too far apart");
+                }
+            }
+        }
+        // Leaf to leaf goes through any of the 4 spines.
+        assert_eq!(r.next_hops(layout.leaves[0], layout.leaves[1]).len(), 4);
+    }
+}

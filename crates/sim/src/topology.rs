@@ -1,0 +1,360 @@
+//! Topology description and builders.
+//!
+//! A topology is a set of nodes (switches, hosts, an optional controller) and
+//! full-duplex links between them. Two builders cover the paper's setups:
+//!
+//! * [`Topology::netchain_testbed`] — the four-switch, four-server testbed of
+//!   Figure 8 used for Figures 9(a)–(e), 10 and 11;
+//! * [`Topology::spine_leaf`] — the 64-port spine–leaf fabrics of §8.3 used
+//!   for the scalability study in Figure 9(f).
+
+use crate::link::LinkParams;
+use crate::node::{NodeId, NodeKind};
+use std::collections::BTreeMap;
+
+/// A static description of the simulated network.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kinds: Vec<NodeKind>,
+    names: Vec<String>,
+    adjacency: Vec<Vec<NodeId>>,
+    links: BTreeMap<(usize, usize), LinkParams>,
+}
+
+/// Incrementally builds a [`Topology`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    kinds: Vec<NodeKind>,
+    names: Vec<String>,
+    links: Vec<(NodeId, NodeId, LinkParams)>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.kinds.len());
+        self.kinds.push(kind);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Adds a switch node.
+    pub fn add_switch(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Switch, name)
+    }
+
+    /// Adds a host node.
+    pub fn add_host(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Host, name)
+    }
+
+    /// Adds a controller node.
+    pub fn add_controller(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Controller, name)
+    }
+
+    /// Connects `a` and `b` with a full-duplex link using the same parameters
+    /// in both directions.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, params: LinkParams) -> &mut Self {
+        assert_ne!(a, b, "self-links are not allowed");
+        self.links.push((a, b, params));
+        self
+    }
+
+    /// Finalises the topology.
+    ///
+    /// # Panics
+    /// Panics if any link references a node that was never added, or if the
+    /// same unordered pair is linked twice.
+    pub fn build(self) -> Topology {
+        let n = self.kinds.len();
+        let mut adjacency = vec![Vec::new(); n];
+        let mut links = BTreeMap::new();
+        for (a, b, params) in self.links {
+            assert!(a.index() < n && b.index() < n, "link references unknown node");
+            let fwd = (a.index(), b.index());
+            let rev = (b.index(), a.index());
+            assert!(
+                !links.contains_key(&fwd),
+                "duplicate link between {a} and {b}"
+            );
+            links.insert(fwd, params);
+            links.insert(rev, params);
+            adjacency[a.index()].push(b);
+            adjacency[b.index()].push(a);
+        }
+        for neighbors in &mut adjacency {
+            neighbors.sort();
+            neighbors.dedup();
+        }
+        Topology {
+            kinds: self.kinds,
+            names: self.names,
+            adjacency,
+            links,
+        }
+    }
+}
+
+/// Node-id layout of a spine–leaf fabric returned by [`Topology::spine_leaf`].
+#[derive(Debug, Clone)]
+pub struct SpineLeafLayout {
+    /// Spine switches.
+    pub spines: Vec<NodeId>,
+    /// Leaf (top-of-rack) switches.
+    pub leaves: Vec<NodeId>,
+    /// Hosts attached to each leaf (`hosts[i]` hangs off `leaves[i]`).
+    pub hosts: Vec<Vec<NodeId>>,
+}
+
+impl SpineLeafLayout {
+    /// All switches (spines then leaves).
+    pub fn switches(&self) -> Vec<NodeId> {
+        self.spines.iter().chain(self.leaves.iter()).copied().collect()
+    }
+
+    /// All hosts in rack order.
+    pub fn all_hosts(&self) -> Vec<NodeId> {
+        self.hosts.iter().flatten().copied().collect()
+    }
+}
+
+/// Node-id layout of the four-switch testbed returned by
+/// [`Topology::netchain_testbed`].
+#[derive(Debug, Clone)]
+pub struct TestbedLayout {
+    /// Switches S0–S3.
+    pub switches: [NodeId; 4],
+    /// Hosts H0–H3.
+    pub hosts: [NodeId; 4],
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The role of a node.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.kinds[id.index()]
+    }
+
+    /// The human-readable name of a node.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The neighbours of a node, sorted by id.
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.adjacency[id.index()]
+    }
+
+    /// The parameters of the directed link `a → b`, if the nodes are adjacent.
+    pub fn link(&self, a: NodeId, b: NodeId) -> Option<LinkParams> {
+        self.links.get(&(a.index(), b.index())).copied()
+    }
+
+    /// Iterates over all directed links as `(from, to, params)`.
+    pub fn directed_links(&self) -> impl Iterator<Item = (NodeId, NodeId, LinkParams)> + '_ {
+        self.links
+            .iter()
+            .map(|(&(a, b), &p)| (NodeId(a), NodeId(b), p))
+    }
+
+    /// All node ids of a given kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        (0..self.num_nodes())
+            .map(NodeId)
+            .filter(|id| self.kind(*id) == kind)
+            .collect()
+    }
+
+    /// All switches.
+    pub fn switches(&self) -> Vec<NodeId> {
+        self.nodes_of_kind(NodeKind::Switch)
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        self.nodes_of_kind(NodeKind::Host)
+    }
+
+    /// Overrides the parameters of every existing link (both directions).
+    /// Used by experiments that sweep loss rate or jitter over a fixed shape.
+    pub fn set_all_links(&mut self, params: LinkParams) {
+        for p in self.links.values_mut() {
+            *p = params;
+        }
+    }
+
+    /// The testbed of Figure 8: four switches and four servers.
+    ///
+    /// Connectivity follows the evaluation's described paths: H0 attaches to
+    /// S0; H1–H3 attach to S2; S1 and S3 each connect S0 to S2, giving the
+    /// write path S0–S1–S2 and the alternative path S0–S3–S2 used for reads
+    /// in the failure-handling experiment (§8.4).
+    pub fn netchain_testbed(link: LinkParams) -> (Topology, TestbedLayout) {
+        let mut b = TopologyBuilder::new();
+        let s: Vec<NodeId> = (0..4).map(|i| b.add_switch(format!("S{i}"))).collect();
+        let h: Vec<NodeId> = (0..4).map(|i| b.add_host(format!("H{i}"))).collect();
+        // Switch fabric.
+        b.add_link(s[0], s[1], link);
+        b.add_link(s[1], s[2], link);
+        b.add_link(s[0], s[3], link);
+        b.add_link(s[3], s[2], link);
+        // Hosts.
+        b.add_link(h[0], s[0], link);
+        b.add_link(h[1], s[2], link);
+        b.add_link(h[2], s[2], link);
+        b.add_link(h[3], s[2], link);
+        let topo = b.build();
+        let layout = TestbedLayout {
+            switches: [s[0], s[1], s[2], s[3]],
+            hosts: [h[0], h[1], h[2], h[3]],
+        };
+        (topo, layout)
+    }
+
+    /// A non-blocking spine–leaf fabric as in §8.3: each leaf has
+    /// `hosts_per_leaf` hosts, every leaf connects to every spine, and the
+    /// number of spines is typically half the number of leaves.
+    pub fn spine_leaf(
+        n_spine: usize,
+        n_leaf: usize,
+        hosts_per_leaf: usize,
+        fabric_link: LinkParams,
+        host_link: LinkParams,
+    ) -> (Topology, SpineLeafLayout) {
+        assert!(n_spine > 0 && n_leaf > 0, "fabric must have switches");
+        let mut b = TopologyBuilder::new();
+        let spines: Vec<NodeId> = (0..n_spine)
+            .map(|i| b.add_switch(format!("spine{i}")))
+            .collect();
+        let leaves: Vec<NodeId> = (0..n_leaf)
+            .map(|i| b.add_switch(format!("leaf{i}")))
+            .collect();
+        let mut hosts = Vec::with_capacity(n_leaf);
+        for (li, &leaf) in leaves.iter().enumerate() {
+            for &spine in &spines {
+                b.add_link(leaf, spine, fabric_link);
+            }
+            let mut rack = Vec::with_capacity(hosts_per_leaf);
+            for hi in 0..hosts_per_leaf {
+                let host = b.add_host(format!("host{li}-{hi}"));
+                b.add_link(host, leaf, host_link);
+                rack.push(host);
+            }
+            hosts.push(rack);
+        }
+        let topo = b.build();
+        (
+            topo,
+            SpineLeafLayout {
+                spines,
+                leaves,
+                hosts,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_symmetric_adjacency() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_switch("a");
+        let c = b.add_host("c");
+        b.add_link(a, c, LinkParams::ideal());
+        let t = b.build();
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.neighbors(a), &[c]);
+        assert_eq!(t.neighbors(c), &[a]);
+        assert!(t.link(a, c).is_some());
+        assert!(t.link(c, a).is_some());
+        assert_eq!(t.kind(a), NodeKind::Switch);
+        assert_eq!(t.kind(c), NodeKind::Host);
+        assert_eq!(t.name(a), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_links_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_switch("a");
+        let c = b.add_switch("c");
+        b.add_link(a, c, LinkParams::ideal());
+        b.add_link(c, a, LinkParams::ideal());
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_links_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_switch("a");
+        b.add_link(a, a, LinkParams::ideal());
+    }
+
+    #[test]
+    fn testbed_matches_figure8() {
+        let (t, layout) = Topology::netchain_testbed(LinkParams::datacenter_40g());
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.switches().len(), 4);
+        assert_eq!(t.hosts().len(), 4);
+        let [s0, s1, s2, s3] = layout.switches;
+        let [h0, h1, _h2, _h3] = layout.hosts;
+        // Write path S0-S1-S2 and read path S0-S3-S2 both exist.
+        assert!(t.link(s0, s1).is_some() && t.link(s1, s2).is_some());
+        assert!(t.link(s0, s3).is_some() && t.link(s3, s2).is_some());
+        // H0 on S0, H1 on S2, S0 and S2 not directly connected.
+        assert!(t.link(h0, s0).is_some());
+        assert!(t.link(h1, s2).is_some());
+        assert!(t.link(s0, s2).is_none());
+    }
+
+    #[test]
+    fn spine_leaf_is_fully_bipartite() {
+        let (t, layout) = Topology::spine_leaf(
+            2,
+            4,
+            3,
+            LinkParams::datacenter_100g(),
+            LinkParams::datacenter_40g(),
+        );
+        assert_eq!(layout.spines.len(), 2);
+        assert_eq!(layout.leaves.len(), 4);
+        assert_eq!(layout.all_hosts().len(), 12);
+        assert_eq!(t.num_nodes(), 2 + 4 + 12);
+        for &leaf in &layout.leaves {
+            for &spine in &layout.spines {
+                assert!(t.link(leaf, spine).is_some());
+            }
+        }
+        // Hosts connect only to their own leaf.
+        for (li, rack) in layout.hosts.iter().enumerate() {
+            for &host in rack {
+                assert_eq!(t.neighbors(host), &[layout.leaves[li]]);
+            }
+        }
+        assert_eq!(layout.switches().len(), 6);
+    }
+
+    #[test]
+    fn set_all_links_applies_everywhere() {
+        let (mut t, _) = Topology::netchain_testbed(LinkParams::datacenter_40g());
+        let lossy = LinkParams::datacenter_40g().with_loss(0.1);
+        t.set_all_links(lossy);
+        for (_, _, p) in t.directed_links() {
+            assert!((p.loss_rate - 0.1).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Failover and redirection rules installed by the controller in the
+//! neighbours of a failed switch (Algorithms 2 and 3).
+//!
+//! These rules match on the packet's *destination IP* — they apply to traffic
+//! merely transiting a neighbour switch on its way to the failed device, which
+//! is exactly why updating only the neighbours is sufficient (§5.1).
+//!
+//! Rules carry a priority and an optional *virtual-group scope*. The scope is
+//! how the model expresses "recover one virtual group at a time" (§5.2): in a
+//! real deployment each virtual group is a distinct chain whose traffic is
+//! distinguishable by its chain IPs, so the controller's per-group rules
+//! naturally affect only that group's queries; the model keys the same
+//! distinction off the key's group id, which every switch can compute from
+//! the key hash it already has.
+
+use netchain_wire::{Ipv4Addr, Key};
+use std::collections::HashMap;
+
+/// Which queries a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleScope {
+    /// Every query destined to the failed switch.
+    All,
+    /// Only queries whose key falls in virtual group `group` out of
+    /// `modulus` groups.
+    Group {
+        /// The virtual-group id the rule targets.
+        group: u32,
+        /// Total number of virtual groups.
+        modulus: u32,
+    },
+}
+
+impl RuleScope {
+    /// True if a query for `key` falls under this scope.
+    pub fn matches(&self, key: &Key) -> bool {
+        match *self {
+            RuleScope::All => true,
+            RuleScope::Group { group, modulus } => {
+                modulus > 0 && (key.stable_hash() % u64::from(modulus)) as u32 == group
+            }
+        }
+    }
+}
+
+/// What a neighbour switch does with a matching packet destined to a failed
+/// switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailoverAction {
+    /// Fast failover (Algorithm 2): skip the failed hop — pop the next chain
+    /// IP into the destination, or reply to the client if the failed hop was
+    /// the last one.
+    ChainFailover,
+    /// Failure recovery phase 1 (Algorithm 3, "stop and synchronisation"):
+    /// drop queries destined to the failed switch so the replacement can
+    /// catch up consistently.
+    Block,
+    /// Failure recovery phase 2 ("activation"): forward queries to the
+    /// replacement switch instead.
+    Redirect(Ipv4Addr),
+}
+
+/// One installed rule: match on destination IP (the map key in
+/// [`ForwardingTable`]), refine by scope, act with `action`. Higher priority
+/// wins; the controller uses priority 1 for fast failover, 2 for recovery
+/// blocks and 3 for recovery redirects, mirroring "they override the rules of
+/// fast failover by using higher rule priorities" (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverRule {
+    /// Rule priority; larger values win.
+    pub priority: u8,
+    /// Which keys the rule applies to.
+    pub scope: RuleScope,
+    /// What to do with matching packets.
+    pub action: FailoverAction,
+}
+
+/// The per-switch table of failover rules, keyed by the failed switch's IP.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardingTable {
+    rules: HashMap<Ipv4Addr, Vec<FailoverRule>>,
+}
+
+impl ForwardingTable {
+    /// Creates an empty rule table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a rule for packets destined to `failed_ip`. A rule with the
+    /// same priority *and* scope replaces the previous one (the controller
+    /// re-programs a rule slot); otherwise rules coexist and priority decides.
+    pub fn install(&mut self, failed_ip: Ipv4Addr, rule: FailoverRule) {
+        let slot = self.rules.entry(failed_ip).or_default();
+        if let Some(existing) = slot
+            .iter_mut()
+            .find(|r| r.priority == rule.priority && r.scope == rule.scope)
+        {
+            *existing = rule;
+        } else {
+            slot.push(rule);
+        }
+        slot.sort_by(|a, b| b.priority.cmp(&a.priority));
+    }
+
+    /// Convenience: installs the fast-failover rule (priority 1, all keys).
+    pub fn install_chain_failover(&mut self, failed_ip: Ipv4Addr) {
+        self.install(
+            failed_ip,
+            FailoverRule {
+                priority: 1,
+                scope: RuleScope::All,
+                action: FailoverAction::ChainFailover,
+            },
+        );
+    }
+
+    /// Removes every rule matching `failed_ip` with the given priority and
+    /// scope. Returns the number of rules removed.
+    pub fn remove(&mut self, failed_ip: Ipv4Addr, priority: u8, scope: RuleScope) -> usize {
+        let Some(slot) = self.rules.get_mut(&failed_ip) else {
+            return 0;
+        };
+        let before = slot.len();
+        slot.retain(|r| !(r.priority == priority && r.scope == scope));
+        let removed = before - slot.len();
+        if slot.is_empty() {
+            self.rules.remove(&failed_ip);
+        }
+        removed
+    }
+
+    /// Removes all rules for `failed_ip`.
+    pub fn remove_all(&mut self, failed_ip: Ipv4Addr) -> usize {
+        self.rules.remove(&failed_ip).map_or(0, |v| v.len())
+    }
+
+    /// The action that applies to a query for `key` destined to `dst`, if any
+    /// (highest priority rule whose scope matches).
+    pub fn action_for(&self, dst: Ipv4Addr, key: &Key) -> Option<FailoverAction> {
+        self.rules
+            .get(&dst)?
+            .iter()
+            .find(|rule| rule.scope.matches(key))
+            .map(|rule| rule.action)
+    }
+
+    /// Number of installed rules (across all destinations).
+    pub fn len(&self) -> usize {
+        self.rules.values().map(Vec::len).sum()
+    }
+
+    /// True if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_in_group(group: u32, modulus: u32) -> Key {
+        (0..).map(Key::from_u64).find(|k| {
+            (k.stable_hash() % u64::from(modulus)) as u32 == group
+        }).expect("some key falls in every group")
+    }
+
+    #[test]
+    fn scope_matching() {
+        let k = Key::from_name("foo");
+        assert!(RuleScope::All.matches(&k));
+        let g = (k.stable_hash() % 10) as u32;
+        assert!(RuleScope::Group { group: g, modulus: 10 }.matches(&k));
+        assert!(!RuleScope::Group { group: (g + 1) % 10, modulus: 10 }.matches(&k));
+        assert!(!RuleScope::Group { group: 0, modulus: 0 }.matches(&k));
+    }
+
+    #[test]
+    fn install_lookup_remove_roundtrip() {
+        let mut t = ForwardingTable::new();
+        let failed = Ipv4Addr::for_switch(1);
+        let key = Key::from_name("foo");
+        assert!(t.is_empty());
+        assert_eq!(t.action_for(failed, &key), None);
+
+        t.install_chain_failover(failed);
+        assert_eq!(t.action_for(failed, &key), Some(FailoverAction::ChainFailover));
+        assert_eq!(t.len(), 1);
+
+        assert_eq!(t.remove(failed, 1, RuleScope::All), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.remove(failed, 1, RuleScope::All), 0);
+    }
+
+    #[test]
+    fn higher_priority_rules_override() {
+        let mut t = ForwardingTable::new();
+        let failed = Ipv4Addr::for_switch(1);
+        let key = Key::from_name("foo");
+        let replacement = Ipv4Addr::for_switch(3);
+        t.install_chain_failover(failed);
+        t.install(
+            failed,
+            FailoverRule {
+                priority: 2,
+                scope: RuleScope::All,
+                action: FailoverAction::Block,
+            },
+        );
+        assert_eq!(t.action_for(failed, &key), Some(FailoverAction::Block));
+        t.install(
+            failed,
+            FailoverRule {
+                priority: 3,
+                scope: RuleScope::All,
+                action: FailoverAction::Redirect(replacement),
+            },
+        );
+        assert_eq!(
+            t.action_for(failed, &key),
+            Some(FailoverAction::Redirect(replacement))
+        );
+        // Dropping the high-priority rules falls back to fast failover.
+        t.remove(failed, 3, RuleScope::All);
+        t.remove(failed, 2, RuleScope::All);
+        assert_eq!(t.action_for(failed, &key), Some(FailoverAction::ChainFailover));
+    }
+
+    #[test]
+    fn group_scoped_rules_only_affect_their_group() {
+        let mut t = ForwardingTable::new();
+        let failed = Ipv4Addr::for_switch(1);
+        t.install_chain_failover(failed);
+        let blocked_key = key_in_group(3, 100);
+        let other_key = key_in_group(4, 100);
+        t.install(
+            failed,
+            FailoverRule {
+                priority: 2,
+                scope: RuleScope::Group { group: 3, modulus: 100 },
+                action: FailoverAction::Block,
+            },
+        );
+        assert_eq!(t.action_for(failed, &blocked_key), Some(FailoverAction::Block));
+        assert_eq!(
+            t.action_for(failed, &other_key),
+            Some(FailoverAction::ChainFailover)
+        );
+    }
+
+    #[test]
+    fn reinstalling_same_slot_replaces() {
+        let mut t = ForwardingTable::new();
+        let failed = Ipv4Addr::for_switch(2);
+        let key = Key::from_name("x");
+        t.install(
+            failed,
+            FailoverRule {
+                priority: 3,
+                scope: RuleScope::All,
+                action: FailoverAction::Redirect(Ipv4Addr::for_switch(7)),
+            },
+        );
+        t.install(
+            failed,
+            FailoverRule {
+                priority: 3,
+                scope: RuleScope::All,
+                action: FailoverAction::Redirect(Ipv4Addr::for_switch(8)),
+            },
+        );
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.action_for(failed, &key),
+            Some(FailoverAction::Redirect(Ipv4Addr::for_switch(8)))
+        );
+        assert_eq!(t.remove_all(failed), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn rules_are_per_destination() {
+        let mut t = ForwardingTable::new();
+        let key = Key::from_name("k");
+        t.install_chain_failover(Ipv4Addr::for_switch(1));
+        t.install(
+            Ipv4Addr::for_switch(2),
+            FailoverRule {
+                priority: 2,
+                scope: RuleScope::All,
+                action: FailoverAction::Block,
+            },
+        );
+        assert_eq!(
+            t.action_for(Ipv4Addr::for_switch(1), &key),
+            Some(FailoverAction::ChainFailover)
+        );
+        assert_eq!(
+            t.action_for(Ipv4Addr::for_switch(2), &key),
+            Some(FailoverAction::Block)
+        );
+        assert_eq!(t.action_for(Ipv4Addr::for_switch(3), &key), None);
+    }
+}

@@ -1,0 +1,417 @@
+//! The on-chip key-value store: a match table for the key index plus register
+//! arrays for values, sequence numbers and session numbers (Figure 3).
+//!
+//! Values are stored the way the prototype stores them: split across the
+//! value stages, `bytes_per_stage` bytes per stage, with a separate length
+//! register so variable-length values round-trip exactly.
+
+use crate::pipeline::{PipelineConfig, ResourceUsage};
+use crate::register::RegisterArray;
+use crate::table::MatchTable;
+use netchain_wire::{Key, Value};
+
+/// Errors returned by control-plane operations on the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// No free value slot remains.
+    Full,
+    /// The key is already installed.
+    KeyExists,
+    /// The key is not installed.
+    KeyNotFound,
+    /// The value exceeds what the provisioned stages can hold even with
+    /// recirculation disabled.
+    ValueTooLarge,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Full => write!(f, "no free slots in the on-chip store"),
+            KvError::KeyExists => write!(f, "key already installed"),
+            KvError::KeyNotFound => write!(f, "key not installed"),
+            KvError::ValueTooLarge => write!(f, "value exceeds provisioned stage capacity"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// One exported key-value entry, used for state synchronisation during
+/// failure recovery (§5.2 pre-synchronisation / synchronisation steps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportedEntry {
+    /// The key.
+    pub key: Key,
+    /// Current value.
+    pub value: Value,
+    /// Stored sequence number.
+    pub seq: u64,
+    /// Stored session number.
+    pub session: u64,
+    /// Whether the entry is live (false = invalidated by a `Delete` awaiting
+    /// garbage collection).
+    pub valid: bool,
+}
+
+/// The switch-resident key-value store.
+#[derive(Debug, Clone)]
+pub struct SwitchKvStore {
+    config: PipelineConfig,
+    index: MatchTable,
+    /// One register array per value stage.
+    value_stages: Vec<RegisterArray>,
+    /// Value lengths, one register per slot.
+    lengths: RegisterArray,
+    /// Per-key sequence numbers (Algorithm 1).
+    seqs: RegisterArray,
+    /// Per-key session numbers (§5.2, NOPaxos-style head replacement).
+    sessions: RegisterArray,
+    /// Validity flags (a `Delete` invalidates; the controller garbage
+    /// collects later).
+    valid: Vec<bool>,
+    /// Free slot list.
+    free: Vec<usize>,
+}
+
+impl SwitchKvStore {
+    /// Creates an empty store with the given pipeline geometry.
+    pub fn new(config: PipelineConfig) -> Self {
+        let slots = config.slots_per_stage;
+        let value_stages = (0..config.value_stages)
+            .map(|_| RegisterArray::new(slots, config.bytes_per_stage))
+            .collect();
+        SwitchKvStore {
+            config,
+            index: MatchTable::new(slots),
+            value_stages,
+            lengths: RegisterArray::new(slots, 8),
+            seqs: RegisterArray::new(slots, 8),
+            sessions: RegisterArray::new(slots, 8),
+            valid: vec![false; slots],
+            free: (0..slots).rev().collect(),
+        }
+    }
+
+    /// The pipeline geometry this store was built for.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Number of installed keys.
+    pub fn store_size(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of slots still available.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Looks up the slot index of a key (data-plane match, Algorithm 1 line 1).
+    pub fn lookup(&self, key: &Key) -> Option<usize> {
+        self.index.lookup(key)
+    }
+
+    /// True if the slot currently holds a live (not invalidated) entry.
+    pub fn is_valid(&self, slot: usize) -> bool {
+        self.valid[slot]
+    }
+
+    /// Installs a new key with an initial value (control-plane `Insert`).
+    pub fn insert(&mut self, key: Key, value: &Value) -> Result<usize, KvError> {
+        if value.len() > self.config.max_line_rate_value() {
+            return Err(KvError::ValueTooLarge);
+        }
+        if self.index.lookup(&key).is_some() {
+            return Err(KvError::KeyExists);
+        }
+        let slot = self.free.pop().ok_or(KvError::Full)?;
+        let inserted = self.index.insert(key, slot);
+        debug_assert!(inserted, "index capacity mirrors slot count");
+        self.write_value(slot, value);
+        self.seqs.write_u64(slot, 0);
+        self.sessions.write_u64(slot, 0);
+        self.valid[slot] = true;
+        Ok(slot)
+    }
+
+    /// Invalidates a key's entry (data-plane effect of `Delete`): the slot
+    /// stays allocated until [`Self::garbage_collect`] reclaims it.
+    pub fn invalidate(&mut self, slot: usize) {
+        self.valid[slot] = false;
+    }
+
+    /// Re-validates a slot (a `Write` to an invalidated but not yet collected
+    /// key resurrects it, matching register-array semantics).
+    pub fn revalidate(&mut self, slot: usize) {
+        self.valid[slot] = true;
+    }
+
+    /// Removes a key entirely and frees its slot (control-plane garbage
+    /// collection after a `Delete`).
+    pub fn garbage_collect(&mut self, key: &Key) -> Result<(), KvError> {
+        let slot = self.index.remove(key).ok_or(KvError::KeyNotFound)?;
+        self.valid[slot] = false;
+        self.lengths.write_u64(slot, 0);
+        self.seqs.write_u64(slot, 0);
+        self.sessions.write_u64(slot, 0);
+        for stage in &mut self.value_stages {
+            stage.clear(slot);
+        }
+        self.free.push(slot);
+        Ok(())
+    }
+
+    /// Reads the value stored in `slot`, reassembled across stages.
+    pub fn read_value(&self, slot: usize) -> Value {
+        let len = self.lengths.read_u64(slot) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        let mut remaining = len;
+        for stage in &self.value_stages {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(self.config.bytes_per_stage);
+            bytes.extend_from_slice(&stage.read(slot)[..take]);
+            remaining -= take;
+        }
+        Value::new(bytes).expect("stored values never exceed the wire maximum")
+    }
+
+    /// Writes a value into `slot`, splitting it across stages.
+    pub fn write_value(&mut self, slot: usize, value: &Value) {
+        let bytes = value.as_bytes();
+        self.lengths.write_u64(slot, bytes.len() as u64);
+        for (i, stage) in self.value_stages.iter_mut().enumerate() {
+            let start = i * self.config.bytes_per_stage;
+            if start >= bytes.len() {
+                stage.clear(slot);
+            } else {
+                let end = (start + self.config.bytes_per_stage).min(bytes.len());
+                stage.write(slot, &bytes[start..end]);
+            }
+        }
+    }
+
+    /// The stored sequence number of `slot`.
+    pub fn seq(&self, slot: usize) -> u64 {
+        self.seqs.read_u64(slot)
+    }
+
+    /// Sets the stored sequence number of `slot`.
+    pub fn set_seq(&mut self, slot: usize, seq: u64) {
+        self.seqs.write_u64(slot, seq);
+    }
+
+    /// The stored session number of `slot`.
+    pub fn session(&self, slot: usize) -> u64 {
+        self.sessions.read_u64(slot)
+    }
+
+    /// Sets the stored session number of `slot`.
+    pub fn set_session(&mut self, slot: usize, session: u64) {
+        self.sessions.write_u64(slot, session);
+    }
+
+    /// The `(session, seq)` ordering tuple of `slot`.
+    pub fn ordering(&self, slot: usize) -> (u64, u64) {
+        (self.session(slot), self.seq(slot))
+    }
+
+    /// Exports every installed entry, for state synchronisation.
+    pub fn export_entries(&self) -> Vec<ExportedEntry> {
+        let mut out: Vec<ExportedEntry> = self
+            .index
+            .entries()
+            .map(|(key, slot)| ExportedEntry {
+                key: *key,
+                value: self.read_value(slot),
+                seq: self.seq(slot),
+                session: self.session(slot),
+                valid: self.valid[slot],
+            })
+            .collect();
+        out.sort_by_key(|e| e.key);
+        out
+    }
+
+    /// Imports one entry (used on a replacement switch during recovery).
+    /// Existing entries are overwritten only if the imported ordering tuple
+    /// is at least as new, preserving Invariant 1 when synchronisation races
+    /// with live writes.
+    pub fn import_entry(&mut self, entry: &ExportedEntry) -> Result<(), KvError> {
+        let slot = match self.index.lookup(&entry.key) {
+            Some(slot) => {
+                if (entry.session, entry.seq) < self.ordering(slot) {
+                    return Ok(());
+                }
+                slot
+            }
+            None => self.insert(entry.key, &entry.value).map_err(|e| match e {
+                KvError::KeyExists => unreachable!("lookup said the key is absent"),
+                other => other,
+            })?,
+        };
+        self.write_value(slot, &entry.value);
+        self.set_seq(slot, entry.seq);
+        self.set_session(slot, entry.session);
+        self.valid[slot] = entry.valid;
+        Ok(())
+    }
+
+    /// Wipes every entry (a recovered switch starts empty before being
+    /// resynchronised).
+    pub fn clear_all(&mut self) {
+        let keys: Vec<Key> = self.index.entries().map(|(k, _)| *k).collect();
+        for key in keys {
+            let _ = self.garbage_collect(&key);
+        }
+    }
+
+    /// SRAM consumption snapshot.
+    pub fn resource_usage(&self) -> ResourceUsage {
+        ResourceUsage {
+            index_bytes: self.index.memory_bytes(),
+            value_register_bytes: self
+                .value_stages
+                .iter()
+                .map(RegisterArray::memory_bytes)
+                .sum(),
+            ordering_register_bytes: self.seqs.memory_bytes()
+                + self.sessions.memory_bytes()
+                + self.lengths.memory_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SwitchKvStore {
+        SwitchKvStore::new(PipelineConfig::tiny(8))
+    }
+
+    #[test]
+    fn insert_read_write_roundtrip() {
+        let mut kv = store();
+        let key = Key::from_name("foo");
+        let slot = kv.insert(key, &Value::new(b"hello".to_vec()).unwrap()).unwrap();
+        assert_eq!(kv.lookup(&key), Some(slot));
+        assert_eq!(kv.read_value(slot).as_bytes(), b"hello");
+        assert!(kv.is_valid(slot));
+        kv.write_value(slot, &Value::new(b"a longer value spanning stages!".to_vec()).unwrap());
+        assert_eq!(
+            kv.read_value(slot).as_bytes(),
+            b"a longer value spanning stages!"
+        );
+        assert_eq!(kv.store_size(), 1);
+    }
+
+    #[test]
+    fn values_span_multiple_stages_exactly() {
+        let mut kv = store(); // 2 stages × 16 bytes
+        let key = Key::from_u64(9);
+        let v32 = Value::filled(0x5a, 32).unwrap();
+        let slot = kv.insert(key, &v32).unwrap();
+        assert_eq!(kv.read_value(slot), v32);
+        // Shrinking the value must not leak old bytes.
+        let v3 = Value::new(b"abc".to_vec()).unwrap();
+        kv.write_value(slot, &v3);
+        assert_eq!(kv.read_value(slot), v3);
+    }
+
+    #[test]
+    fn insert_rejects_duplicates_oversize_and_overflow() {
+        let mut kv = store();
+        let key = Key::from_u64(1);
+        kv.insert(key, &Value::empty()).unwrap();
+        assert_eq!(kv.insert(key, &Value::empty()), Err(KvError::KeyExists));
+        assert_eq!(
+            kv.insert(Key::from_u64(2), &Value::filled(0, 33).unwrap()),
+            Err(KvError::ValueTooLarge),
+            "2 stages x 16B = 32B maximum for the tiny config"
+        );
+        for i in 3..10u64 {
+            let r = kv.insert(Key::from_u64(i), &Value::empty());
+            if kv.free_slots() == 0 && r == Err(KvError::Full) {
+                return; // overflow observed
+            }
+        }
+        assert_eq!(kv.insert(Key::from_u64(99), &Value::empty()), Err(KvError::Full));
+    }
+
+    #[test]
+    fn delete_invalidate_and_gc_cycle() {
+        let mut kv = store();
+        let key = Key::from_name("k");
+        let slot = kv.insert(key, &Value::from_u64(1)).unwrap();
+        kv.invalidate(slot);
+        assert!(!kv.is_valid(slot));
+        kv.revalidate(slot);
+        assert!(kv.is_valid(slot));
+        kv.invalidate(slot);
+        let before = kv.free_slots();
+        kv.garbage_collect(&key).unwrap();
+        assert_eq!(kv.free_slots(), before + 1);
+        assert_eq!(kv.lookup(&key), None);
+        assert_eq!(kv.garbage_collect(&key), Err(KvError::KeyNotFound));
+    }
+
+    #[test]
+    fn ordering_registers() {
+        let mut kv = store();
+        let slot = kv.insert(Key::from_u64(5), &Value::empty()).unwrap();
+        assert_eq!(kv.ordering(slot), (0, 0));
+        kv.set_seq(slot, 7);
+        kv.set_session(slot, 2);
+        assert_eq!(kv.ordering(slot), (2, 7));
+    }
+
+    #[test]
+    fn export_import_preserves_state_and_respects_ordering() {
+        let mut a = store();
+        let key = Key::from_name("cfg");
+        let slot = a.insert(key, &Value::from_u64(10)).unwrap();
+        a.set_seq(slot, 5);
+        a.set_session(slot, 1);
+
+        let mut b = store();
+        for entry in a.export_entries() {
+            b.import_entry(&entry).unwrap();
+        }
+        let bslot = b.lookup(&key).unwrap();
+        assert_eq!(b.read_value(bslot).as_u64(), Some(10));
+        assert_eq!(b.ordering(bslot), (1, 5));
+
+        // A stale import must not clobber newer local state.
+        b.set_seq(bslot, 9);
+        b.write_value(bslot, &Value::from_u64(99));
+        for entry in a.export_entries() {
+            b.import_entry(&entry).unwrap();
+        }
+        assert_eq!(b.read_value(bslot).as_u64(), Some(99));
+        assert_eq!(b.seq(bslot), 9);
+    }
+
+    #[test]
+    fn clear_all_frees_everything() {
+        let mut kv = store();
+        for i in 0..5u64 {
+            kv.insert(Key::from_u64(i), &Value::from_u64(i)).unwrap();
+        }
+        kv.clear_all();
+        assert_eq!(kv.store_size(), 0);
+        assert_eq!(kv.free_slots(), 8);
+    }
+
+    #[test]
+    fn resource_usage_reflects_geometry() {
+        let kv = SwitchKvStore::new(PipelineConfig::tofino_prototype());
+        let usage = kv.resource_usage();
+        assert_eq!(usage.value_register_bytes, 8 * 1024 * 1024);
+        assert!(usage.fits(&PipelineConfig::tofino_prototype()));
+        assert_eq!(usage.index_bytes, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Pipeline geometry and resource accounting.
+//!
+//! A Tofino-class pipeline has a fixed number of match-action stages, each of
+//! which can read or write a bounded number of bytes of a register array per
+//! packet. The paper's prototype (§7) uses 8 stages of 64 K × 16-byte slots
+//! (8 MB of value storage) and supports values up to 128 bytes at line rate;
+//! §6 explains that larger values need recirculation, which halves (or worse)
+//! effective throughput. This module captures exactly those knobs so the
+//! experiments can reason about store size limits (Figure 9(b)) and value
+//! size limits (Figure 9(a)).
+
+/// Static description of the pipeline resources allocated to NetChain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Number of pipeline stages that carry value register arrays.
+    pub value_stages: usize,
+    /// Bytes of value each stage can read/write per packet.
+    pub bytes_per_stage: usize,
+    /// Register slots per stage (the prototype allocates 64 K).
+    pub slots_per_stage: usize,
+    /// Total on-chip SRAM the switch allots to NetChain, in bytes. The paper
+    /// assumes ~10 MB per switch can be allocated (§6).
+    pub sram_budget_bytes: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::tofino_prototype()
+    }
+}
+
+impl PipelineConfig {
+    /// The prototype configuration from §7: 8 stages × 64 K slots × 16 bytes
+    /// (8 MB of values) with a 10 MB SRAM budget.
+    pub fn tofino_prototype() -> Self {
+        PipelineConfig {
+            value_stages: 8,
+            bytes_per_stage: 16,
+            slots_per_stage: 64 * 1024,
+            sram_budget_bytes: 10 * 1024 * 1024,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny(slots: usize) -> Self {
+        PipelineConfig {
+            value_stages: 2,
+            bytes_per_stage: 16,
+            slots_per_stage: slots,
+            sram_budget_bytes: 64 * 1024,
+        }
+    }
+
+    /// Maximum value size processed in a single pipeline pass.
+    pub fn max_line_rate_value(&self) -> usize {
+        self.value_stages * self.bytes_per_stage
+    }
+
+    /// Number of pipeline passes needed for a value of `len` bytes: one pass
+    /// for anything the stages can cover, plus one recirculation per extra
+    /// `value_stages × bytes_per_stage` chunk (§6).
+    pub fn passes_for_value(&self, len: usize) -> usize {
+        let per_pass = self.max_line_rate_value().max(1);
+        1 + len.saturating_sub(1) / per_pass
+    }
+
+    /// Total value-register SRAM implied by the geometry.
+    pub fn value_sram_bytes(&self) -> usize {
+        self.value_stages * self.bytes_per_stage * self.slots_per_stage
+    }
+}
+
+/// A snapshot of SRAM consumption, reported by [`crate::SwitchKvStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// Bytes consumed by the key index table.
+    pub index_bytes: usize,
+    /// Bytes consumed by value register arrays (provisioned, not per-entry —
+    /// register arrays are statically allocated on the ASIC).
+    pub value_register_bytes: usize,
+    /// Bytes consumed by the sequence-number and session register arrays.
+    pub ordering_register_bytes: usize,
+}
+
+impl ResourceUsage {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.index_bytes + self.value_register_bytes + self.ordering_register_bytes
+    }
+
+    /// True if the usage fits the pipeline's SRAM budget.
+    pub fn fits(&self, config: &PipelineConfig) -> bool {
+        self.total() <= config.sram_budget_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_matches_paper_numbers() {
+        let p = PipelineConfig::tofino_prototype();
+        assert_eq!(p.max_line_rate_value(), 128);
+        assert_eq!(p.value_sram_bytes(), 8 * 1024 * 1024);
+        assert_eq!(p.passes_for_value(0), 1);
+        assert_eq!(p.passes_for_value(128), 1);
+        assert_eq!(p.passes_for_value(129), 2);
+        assert_eq!(p.passes_for_value(256), 2);
+        assert_eq!(p.passes_for_value(257), 3);
+    }
+
+    #[test]
+    fn resource_usage_totals_and_budget() {
+        let usage = ResourceUsage {
+            index_bytes: 1_000,
+            value_register_bytes: 8 * 1024 * 1024,
+            ordering_register_bytes: 512 * 1024,
+        };
+        assert_eq!(usage.total(), 1_000 + 8 * 1024 * 1024 + 512 * 1024);
+        assert!(usage.fits(&PipelineConfig::tofino_prototype()));
+        let tiny = PipelineConfig::tiny(16);
+        assert!(!usage.fits(&tiny));
+    }
+}

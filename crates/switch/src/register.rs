@@ -1,0 +1,168 @@
+//! Register arrays: the on-chip SRAM word arrays a P4 program can read and
+//! modify per packet at line rate.
+//!
+//! NetChain stores values in register arrays (one array per pipeline stage,
+//! each stage contributing up to 16 bytes of the value) and sequence numbers
+//! in a dedicated array sharing the same index space (§4.1, §4.3).
+
+use std::fmt;
+
+/// A fixed-geometry array of fixed-width registers.
+///
+/// Geometry is chosen at construction: `slots` registers of `width` bytes
+/// each. Reads and writes are per-slot; a write shorter than the width zero
+/// pads, which matches how a P4 action writes a header field into a wider
+/// register.
+#[derive(Clone)]
+pub struct RegisterArray {
+    width: usize,
+    data: Vec<u8>,
+    slots: usize,
+}
+
+impl fmt::Debug for RegisterArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegisterArray")
+            .field("slots", &self.slots)
+            .field("width", &self.width)
+            .finish()
+    }
+}
+
+impl RegisterArray {
+    /// Creates an array of `slots` registers, each `width` bytes wide, zeroed.
+    pub fn new(slots: usize, width: usize) -> Self {
+        assert!(width > 0, "register width must be non-zero");
+        RegisterArray {
+            width,
+            data: vec![0; slots * width],
+            slots,
+        }
+    }
+
+    /// Number of registers.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Width of each register in bytes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total SRAM footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reads the register at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range — the match table only ever produces
+    /// in-range indexes, so an out-of-range access is a logic bug.
+    pub fn read(&self, index: usize) -> &[u8] {
+        assert!(index < self.slots, "register index {index} out of range");
+        &self.data[index * self.width..(index + 1) * self.width]
+    }
+
+    /// Writes `value` to the register at `index`, zero-padding or truncating
+    /// to the register width (truncation cannot happen for NetChain because
+    /// the stage geometry is sized for the maximum value, but the model stays
+    /// total).
+    pub fn write(&mut self, index: usize, value: &[u8]) {
+        assert!(index < self.slots, "register index {index} out of range");
+        let slot = &mut self.data[index * self.width..(index + 1) * self.width];
+        let n = value.len().min(slot.len());
+        slot[..n].copy_from_slice(&value[..n]);
+        for byte in slot[n..].iter_mut() {
+            *byte = 0;
+        }
+    }
+
+    /// Reads the register at `index` as a big-endian `u64` (registers wider
+    /// than 8 bytes use their first 8 bytes). Convenient for sequence-number
+    /// and session-number arrays.
+    pub fn read_u64(&self, index: usize) -> u64 {
+        let slot = self.read(index);
+        let mut buf = [0u8; 8];
+        let n = slot.len().min(8);
+        buf[..n].copy_from_slice(&slot[..n]);
+        u64::from_be_bytes(buf)
+    }
+
+    /// Writes a big-endian `u64` into the register at `index`.
+    pub fn write_u64(&mut self, index: usize, value: u64) {
+        let bytes = value.to_be_bytes();
+        self.write(index, &bytes);
+    }
+
+    /// Zeroes the register at `index`.
+    pub fn clear(&mut self, index: usize) {
+        self.write(index, &[]);
+    }
+
+    /// Zeroes every register (used when a recovered switch is wiped before
+    /// state synchronisation).
+    pub fn clear_all(&mut self) {
+        self.data.iter_mut().for_each(|b| *b = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_and_memory() {
+        let arr = RegisterArray::new(64, 16);
+        assert_eq!(arr.slots(), 64);
+        assert_eq!(arr.width(), 16);
+        assert_eq!(arr.memory_bytes(), 1024);
+    }
+
+    #[test]
+    fn write_pads_and_truncates() {
+        let mut arr = RegisterArray::new(4, 4);
+        arr.write(1, &[0xaa, 0xbb]);
+        assert_eq!(arr.read(1), &[0xaa, 0xbb, 0, 0]);
+        arr.write(1, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(arr.read(1), &[1, 2, 3, 4]);
+        arr.clear(1);
+        assert_eq!(arr.read(1), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut arr = RegisterArray::new(8, 8);
+        arr.write_u64(3, 0xdead_beef_cafe);
+        assert_eq!(arr.read_u64(3), 0xdead_beef_cafe);
+        // Wider registers keep the number in the first 8 bytes.
+        let mut wide = RegisterArray::new(2, 16);
+        wide.write_u64(0, 42);
+        assert_eq!(wide.read_u64(0), 42);
+    }
+
+    #[test]
+    fn clear_all_zeroes_everything() {
+        let mut arr = RegisterArray::new(4, 2);
+        for i in 0..4 {
+            arr.write(i, &[0xff, 0xff]);
+        }
+        arr.clear_all();
+        for i in 0..4 {
+            assert_eq!(arr.read(i), &[0, 0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        RegisterArray::new(2, 2).read(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_rejected() {
+        RegisterArray::new(2, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Exact-match tables.
+//!
+//! The NetChain key index (Figure 3) is an exact-match table whose action
+//! returns the register-array location of the matched key. Entries are
+//! installed and removed by the control plane (`Insert`/`Delete` queries go
+//! through the controller, §4.1); the data plane only performs lookups.
+
+use netchain_wire::Key;
+use std::collections::HashMap;
+
+/// An exact-match table from [`Key`] to a register-array index, with a fixed
+/// capacity (the number of value slots provisioned in the pipeline).
+#[derive(Debug, Clone)]
+pub struct MatchTable {
+    entries: HashMap<Key, usize>,
+    capacity: usize,
+}
+
+impl MatchTable {
+    /// Creates an empty table that can hold at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        MatchTable {
+            entries: HashMap::with_capacity(capacity.min(1 << 16)),
+            capacity,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if no further entries can be installed.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Looks up the register index of `key` (the match-action lookup of
+    /// Algorithm 1 line 1). Returns `None` on a table miss, in which case the
+    /// switch drops the query or replies "not found".
+    pub fn lookup(&self, key: &Key) -> Option<usize> {
+        self.entries.get(key).copied()
+    }
+
+    /// Installs an entry (control-plane operation). Returns `false` if the
+    /// table is full or the key already exists.
+    pub fn insert(&mut self, key: Key, index: usize) -> bool {
+        if self.entries.contains_key(&key) || self.is_full() {
+            return false;
+        }
+        self.entries.insert(key, index);
+        true
+    }
+
+    /// Removes an entry (control-plane operation), returning the index it
+    /// pointed at.
+    pub fn remove(&mut self, key: &Key) -> Option<usize> {
+        self.entries.remove(key)
+    }
+
+    /// Iterates over all `(key, index)` pairs (used by state synchronisation
+    /// during failure recovery).
+    pub fn entries(&self) -> impl Iterator<Item = (&Key, usize)> {
+        self.entries.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Approximate SRAM footprint: each entry stores the 16-byte key plus a
+    /// 4-byte action parameter (the index), which is how the paper's 8 MB
+    /// storage figure accounts for keys.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * (netchain_wire::KEY_LEN + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = MatchTable::new(4);
+        let k = Key::from_name("x");
+        assert!(t.is_empty());
+        assert!(t.insert(k, 7));
+        assert!(!t.insert(k, 8), "duplicate insert must be rejected");
+        assert_eq!(t.lookup(&k), Some(7));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.memory_bytes(), 20);
+        assert_eq!(t.remove(&k), Some(7));
+        assert_eq!(t.lookup(&k), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut t = MatchTable::new(2);
+        assert!(t.insert(Key::from_u64(1), 0));
+        assert!(t.insert(Key::from_u64(2), 1));
+        assert!(t.is_full());
+        assert!(!t.insert(Key::from_u64(3), 2));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn entries_iterates_everything() {
+        let mut t = MatchTable::new(8);
+        for i in 0..5u64 {
+            t.insert(Key::from_u64(i), i as usize);
+        }
+        let mut pairs: Vec<(u64, usize)> = t.entries().map(|(k, v)| (k.low_u64(), v)).collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Error type shared by all parsers and emitters in this crate.
+
+use std::fmt;
+
+/// Result alias used throughout `netchain-wire`.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Errors produced while parsing or emitting packet bytes.
+///
+/// Parsers are strict: any structural problem (truncation, bad version,
+/// inconsistent lengths, unknown opcodes) is reported rather than silently
+/// patched, because a switch data plane must never act on a malformed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the header or payload requires.
+    Truncated {
+        /// Which layer detected the truncation.
+        layer: &'static str,
+        /// Bytes required to continue parsing.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A field carried a value the protocol does not allow.
+    InvalidField {
+        /// Which layer detected the problem.
+        layer: &'static str,
+        /// Human-readable description of the offending field.
+        field: &'static str,
+        /// The raw value observed.
+        value: u64,
+    },
+    /// The opcode byte does not map to a known [`crate::OpCode`].
+    UnknownOpCode(u8),
+    /// The status byte does not map to a known [`crate::QueryStatus`].
+    UnknownStatus(u8),
+    /// The IPv4 header checksum did not verify.
+    BadChecksum {
+        /// Checksum carried in the packet.
+        expected: u16,
+        /// Checksum computed over the received bytes.
+        computed: u16,
+    },
+    /// A value exceeded [`crate::MAX_VALUE_LEN`].
+    ValueTooLong(usize),
+    /// A chain IP list exceeded [`crate::MAX_CHAIN_LEN`].
+    ChainTooLong(usize),
+    /// The destination buffer passed to an emitter was too small.
+    BufferTooSmall {
+        /// Bytes required by the emitter.
+        needed: usize,
+        /// Bytes available in the output buffer.
+        available: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated {
+                layer,
+                needed,
+                available,
+            } => write!(
+                f,
+                "{layer}: truncated packet, need {needed} bytes but only {available} available"
+            ),
+            WireError::InvalidField {
+                layer,
+                field,
+                value,
+            } => write!(f, "{layer}: invalid {field} value {value}"),
+            WireError::UnknownOpCode(op) => write!(f, "unknown NetChain opcode {op:#x}"),
+            WireError::UnknownStatus(s) => write!(f, "unknown NetChain status {s:#x}"),
+            WireError::BadChecksum { expected, computed } => write!(
+                f,
+                "IPv4 checksum mismatch: header carries {expected:#06x}, computed {computed:#06x}"
+            ),
+            WireError::ValueTooLong(len) => {
+                write!(f, "value of {len} bytes exceeds the line-rate maximum")
+            }
+            WireError::ChainTooLong(len) => {
+                write!(f, "chain of {len} hops exceeds the maximum chain length")
+            }
+            WireError::BufferTooSmall { needed, available } => write!(
+                f,
+                "output buffer too small: need {needed} bytes, have {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let err = WireError::Truncated {
+            layer: "ipv4",
+            needed: 20,
+            available: 7,
+        };
+        let text = err.to_string();
+        assert!(text.contains("ipv4"));
+        assert!(text.contains("20"));
+        assert!(text.contains("7"));
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(WireError::UnknownOpCode(9), WireError::UnknownOpCode(9));
+        assert_ne!(WireError::UnknownOpCode(9), WireError::UnknownOpCode(8));
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        let err: Box<dyn std::error::Error> = Box::new(WireError::ValueTooLong(4096));
+        assert!(err.to_string().contains("4096"));
+    }
+}

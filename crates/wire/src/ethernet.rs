@@ -1,0 +1,198 @@
+//! Ethernet II framing.
+//!
+//! NetChain queries are ordinary L2/L3 traffic: the chain hops are reached by
+//! rewriting the destination IP and letting the underlay forward the frame
+//! (§4.2). The Ethernet layer is therefore minimal — just enough to carry an
+//! IPv4 payload across the simulated or emulated fabric.
+
+use crate::error::{WireError, WireResult};
+use std::fmt;
+
+/// Length in bytes of an Ethernet II header (dst MAC + src MAC + ethertype).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Builds a locally-administered, deterministic MAC from a small node id.
+    ///
+    /// The simulator and the loopback deployment both label devices with a
+    /// dense integer id; this gives each a stable, recognisable address
+    /// (`02:4e:43:xx:xx:xx`, "NC" in the OUI bytes).
+    pub fn from_node_id(id: u32) -> Self {
+        let b = id.to_be_bytes();
+        MacAddr([0x02, 0x4e, 0x43, b[1], b[2], b[3]])
+    }
+
+    /// Returns true for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Returns true for a multicast (group) address.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType of the encapsulated payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800) — the only payload NetChain uses.
+    Ipv4,
+    /// ARP (0x0806) — carried for completeness of the L2 model.
+    Arp,
+    /// Any other ethertype, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Numeric value as carried on the wire.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Decodes the 16-bit ethertype field.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// Type of the encapsulated payload.
+    pub ethertype: EtherType,
+}
+
+impl EthernetHeader {
+    /// Builds a header carrying IPv4 between two stations.
+    pub fn ipv4(src: MacAddr, dst: MacAddr) -> Self {
+        EthernetHeader {
+            dst,
+            src,
+            ethertype: EtherType::Ipv4,
+        }
+    }
+
+    /// Serialized length of this header (always [`ETHERNET_HEADER_LEN`]).
+    pub fn wire_len(&self) -> usize {
+        ETHERNET_HEADER_LEN
+    }
+
+    /// Emits the header into `out`, returning the number of bytes written.
+    pub fn emit(&self, out: &mut [u8]) -> WireResult<usize> {
+        if out.len() < ETHERNET_HEADER_LEN {
+            return Err(WireError::BufferTooSmall {
+                needed: ETHERNET_HEADER_LEN,
+                available: out.len(),
+            });
+        }
+        out[0..6].copy_from_slice(&self.dst.0);
+        out[6..12].copy_from_slice(&self.src.0);
+        out[12..14].copy_from_slice(&self.ethertype.to_u16().to_be_bytes());
+        Ok(ETHERNET_HEADER_LEN)
+    }
+
+    /// Parses a header from the front of `buf`, returning it plus the number
+    /// of bytes consumed.
+    pub fn parse(buf: &[u8]) -> WireResult<(Self, usize)> {
+        if buf.len() < ETHERNET_HEADER_LEN {
+            return Err(WireError::Truncated {
+                layer: "ethernet",
+                needed: ETHERNET_HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]]));
+        Ok((
+            EthernetHeader {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype,
+            },
+            ETHERNET_HEADER_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_and_derivation() {
+        let mac = MacAddr::from_node_id(7);
+        assert_eq!(mac.to_string(), "02:4e:43:00:00:07");
+        assert!(!mac.is_broadcast());
+        assert!(!mac.is_multicast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+
+    #[test]
+    fn ethertype_roundtrip() {
+        for et in [EtherType::Ipv4, EtherType::Arp, EtherType::Other(0x88cc)] {
+            assert_eq!(EtherType::from_u16(et.to_u16()), et);
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let hdr = EthernetHeader::ipv4(MacAddr::from_node_id(1), MacAddr::from_node_id(2));
+        let mut buf = [0u8; ETHERNET_HEADER_LEN];
+        let written = hdr.emit(&mut buf).unwrap();
+        assert_eq!(written, ETHERNET_HEADER_LEN);
+        let (parsed, consumed) = EthernetHeader::parse(&buf).unwrap();
+        assert_eq!(consumed, ETHERNET_HEADER_LEN);
+        assert_eq!(parsed, hdr);
+    }
+
+    #[test]
+    fn parse_rejects_short_buffer() {
+        let err = EthernetHeader::parse(&[0u8; 5]).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { layer: "ethernet", .. }));
+    }
+
+    #[test]
+    fn emit_rejects_small_buffer() {
+        let hdr = EthernetHeader::ipv4(MacAddr::default(), MacAddr::default());
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            hdr.emit(&mut buf).unwrap_err(),
+            WireError::BufferTooSmall { .. }
+        ));
+    }
+}

@@ -1,0 +1,135 @@
+//! UDP header parsing and emission.
+//!
+//! NetChain deliberately runs over UDP (§4.3): the data plane of a switch
+//! cannot terminate TCP, so the protocol tolerates loss and reordering itself
+//! (sequence numbers + client retries). A reserved destination port marks a
+//! datagram as a NetChain query.
+
+use crate::error::{WireError, WireResult};
+
+/// Length in bytes of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A UDP header. The checksum is optional in IPv4 and NetChain leaves it
+/// zero (the switch would otherwise have to recompute it on every value
+/// rewrite); integrity of the coordination payload is the application's
+/// concern, exactly as in the paper's prototype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port. [`crate::NETCHAIN_UDP_PORT`] marks NetChain queries.
+    pub dst_port: u16,
+    /// Length of header plus payload, in bytes.
+    pub length: u16,
+    /// Checksum (zero = not computed).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Builds a header for a payload of `payload_len` bytes.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: (UDP_HEADER_LEN + payload_len) as u16,
+            checksum: 0,
+        }
+    }
+
+    /// Serialized length of this header (always [`UDP_HEADER_LEN`]).
+    pub fn wire_len(&self) -> usize {
+        UDP_HEADER_LEN
+    }
+
+    /// Length of the payload implied by the `length` field.
+    pub fn payload_len(&self) -> usize {
+        usize::from(self.length).saturating_sub(UDP_HEADER_LEN)
+    }
+
+    /// Emits the header into `out`, returning the number of bytes written.
+    pub fn emit(&self, out: &mut [u8]) -> WireResult<usize> {
+        if out.len() < UDP_HEADER_LEN {
+            return Err(WireError::BufferTooSmall {
+                needed: UDP_HEADER_LEN,
+                available: out.len(),
+            });
+        }
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&self.length.to_be_bytes());
+        out[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+        Ok(UDP_HEADER_LEN)
+    }
+
+    /// Parses a header from the front of `buf`, returning it plus the number
+    /// of bytes consumed.
+    pub fn parse(buf: &[u8]) -> WireResult<(Self, usize)> {
+        if buf.len() < UDP_HEADER_LEN {
+            return Err(WireError::Truncated {
+                layer: "udp",
+                needed: UDP_HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        let length = u16::from_be_bytes([buf[4], buf[5]]);
+        if usize::from(length) < UDP_HEADER_LEN {
+            return Err(WireError::InvalidField {
+                layer: "udp",
+                field: "length",
+                value: u64::from(length),
+            });
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+                length,
+                checksum: u16::from_be_bytes([buf[6], buf[7]]),
+            },
+            UDP_HEADER_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let hdr = UdpHeader::new(41000, 50000, 64);
+        let mut buf = [0u8; UDP_HEADER_LEN];
+        hdr.emit(&mut buf).unwrap();
+        let (parsed, consumed) = UdpHeader::parse(&buf).unwrap();
+        assert_eq!(consumed, UDP_HEADER_LEN);
+        assert_eq!(parsed, hdr);
+        assert_eq!(parsed.payload_len(), 64);
+    }
+
+    #[test]
+    fn rejects_truncation_and_bad_length() {
+        assert!(matches!(
+            UdpHeader::parse(&[0u8; 3]).unwrap_err(),
+            WireError::Truncated { layer: "udp", .. }
+        ));
+        let mut buf = [0u8; UDP_HEADER_LEN];
+        UdpHeader::new(1, 2, 10).emit(&mut buf).unwrap();
+        buf[4] = 0;
+        buf[5] = 3; // length 3 < 8
+        assert!(matches!(
+            UdpHeader::parse(&buf).unwrap_err(),
+            WireError::InvalidField { field: "length", .. }
+        ));
+    }
+
+    #[test]
+    fn emit_rejects_small_buffer() {
+        let hdr = UdpHeader::new(1, 2, 0);
+        let mut buf = [0u8; 7];
+        assert!(matches!(
+            hdr.emit(&mut buf).unwrap_err(),
+            WireError::BufferTooSmall { .. }
+        ));
+    }
+}

@@ -1,0 +1,32 @@
+//! # netchain
+//!
+//! Umbrella crate for the NetChain reproduction (NSDI 2018, "NetChain:
+//! Scale-Free Sub-RTT Coordination"). It re-exports the workspace crates so
+//! applications and examples can depend on a single crate:
+//!
+//! * [`wire`] — packet formats (Ethernet/IPv4/UDP/NetChain header).
+//! * [`sim`] — the deterministic discrete-event network simulator.
+//! * [`switch`] — the programmable-switch data-plane model and the NetChain
+//!   program (Algorithm 1, failover rules).
+//! * [`core`] — consistent hashing, the client agent, the controller
+//!   (fast failover + failure recovery) and cluster assembly.
+//! * [`baseline`] — the ZooKeeper-like server-based baseline.
+//! * [`apps`] — locks, 2PL transactions, configuration store, barriers.
+//! * [`model`] — the bounded model checker (TLA+ appendix port).
+//! * [`net`] — the real-socket (UDP loopback) deployment mode.
+//! * [`experiments`] — the per-figure reproduction harness.
+//!
+//! See `examples/` for runnable walkthroughs and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the system inventory and the reproduction results.
+
+#![forbid(unsafe_code)]
+
+pub use netchain_apps as apps;
+pub use netchain_baseline as baseline;
+pub use netchain_core as core;
+pub use netchain_experiments as experiments;
+pub use netchain_model as model;
+pub use netchain_net as net;
+pub use netchain_sim as sim;
+pub use netchain_switch as switch;
+pub use netchain_wire as wire;

@@ -1,0 +1,114 @@
+//! Property-based cross-crate tests of the protocol's consistency machinery:
+//! Invariant 1 (per-key sequence monotonicity along the chain), client-visible
+//! version monotonicity under loss and reordering, and the model checker run
+//! at a slightly larger bound than its unit tests use.
+
+use netchain::core::{ClusterConfig, KvOp, NetChainCluster, WorkloadConfig};
+use netchain::model::{random_walk, ModelConfig, RandomWalkConfig};
+use netchain::sim::{LinkParams, SimConfig, SimDuration};
+use netchain::wire::{Ipv4Addr, Key, Value};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under random loss, jitter-induced reordering, write ratios and seeds,
+    /// no client ever observes a version regression and surviving chain
+    /// replicas keep Invariant 1 (head sequence >= tail sequence).
+    #[test]
+    fn lossy_reordered_network_preserves_consistency(
+        seed in 0u64..1_000,
+        loss in 0.0f64..0.05,
+        write_ratio in 0.0f64..1.0,
+    ) {
+        let mut config = ClusterConfig::default();
+        config.sim = SimConfig::default().with_seed(seed);
+        config.link = LinkParams::datacenter_40g()
+            .with_loss(loss)
+            .with_jitter(SimDuration::from_micros(5));
+        let mut cluster = NetChainCluster::testbed(config);
+        cluster.populate_store(50, 32);
+        cluster.install_workload_client(
+            0,
+            WorkloadConfig {
+                duration: SimDuration::from_millis(50),
+                rate_qps: 20_000.0,
+                write_ratio,
+                num_keys: 50,
+                throughput_bucket: SimDuration::from_millis(50),
+                ..Default::default()
+            },
+        );
+        cluster.sim.run_for(SimDuration::from_millis(80));
+        let stats = cluster.workload_client(0).unwrap().agent_stats();
+        prop_assert_eq!(stats.version_regressions, 0);
+
+        // Invariant 1: along every key's chain, sequence numbers are
+        // non-increasing from head to tail.
+        let ring = cluster.ring().clone();
+        for key_index in 0..50u64 {
+            let key = Key::from_u64(key_index);
+            let chain = ring.chain_for_key(&key);
+            let mut previous: Option<(u64, u64)> = None;
+            for ip in &chain.switches {
+                let switch_idx = (0..4)
+                    .find(|&i| Ipv4Addr::for_switch(i as u32) == *ip)
+                    .expect("testbed switch");
+                let kv = cluster.switch(switch_idx).switch().kv();
+                let Some(slot) = kv.lookup(&key) else { continue };
+                let ordering = kv.ordering(slot);
+                if let Some(prev) = previous {
+                    prop_assert!(
+                        prev >= ordering,
+                        "Invariant 1 violated for key {key_index}: upstream {prev:?} < downstream {ordering:?}"
+                    );
+                }
+                previous = Some(ordering);
+            }
+        }
+    }
+
+    /// Scripted sequential writes through the cluster always read back the
+    /// last written value, regardless of seed.
+    #[test]
+    fn read_your_writes_holds(seed in 0u64..1_000, final_value in 1u64..1_000_000) {
+        let mut config = ClusterConfig::default();
+        config.sim = SimConfig::default().with_seed(seed);
+        let mut cluster = NetChainCluster::testbed(config);
+        let key = Key::from_name("prop/key");
+        cluster.populate_key(key, &Value::from_u64(0));
+        cluster.install_scripted_client(
+            1,
+            vec![
+                KvOp::Write(key, Value::from_u64(final_value ^ 1)),
+                KvOp::Write(key, Value::from_u64(final_value)),
+                KvOp::Read(key),
+            ],
+        );
+        cluster.sim.run_for(SimDuration::from_millis(50));
+        let client = cluster.scripted_client(1).unwrap();
+        prop_assert!(client.is_done());
+        prop_assert_eq!(client.results()[2].value.as_u64(), Some(final_value));
+    }
+
+    /// The abstract protocol model stays safe on long random walks with
+    /// failures, recoveries and channel mischief.
+    #[test]
+    fn model_random_walks_stay_safe(seed in 0u64..500) {
+        let result = random_walk(RandomWalkConfig {
+            model: ModelConfig {
+                chain_len: 3,
+                spares: 1,
+                keys: 2,
+                values: 3,
+                max_queue: 3,
+                max_failures: 1,
+                max_version: 10,
+                max_channel_ops: 8,
+            },
+            steps: 600,
+            seed,
+        });
+        prop_assert!(result.is_clean(), "violation: {:?}", result.violation);
+    }
+}

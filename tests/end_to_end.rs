@@ -1,0 +1,207 @@
+//! Cross-crate integration tests: full NetChain deployments (simulated and
+//! loopback), failure handling under load, and NetChain-vs-baseline sanity
+//! comparisons.
+
+use netchain::core::{
+    ClusterConfig, ControllerConfig, KvOp, NetChainCluster, WorkloadConfig,
+};
+use netchain::sim::{SimDuration, SimTime};
+use netchain::wire::{Ipv4Addr, Key, QueryStatus, Value};
+
+#[test]
+fn write_read_cas_delete_through_the_simulated_testbed() {
+    let mut cluster = NetChainCluster::testbed(ClusterConfig::default());
+    let key = Key::from_name("integration/key");
+    let lock = Key::from_name("integration/lock");
+    cluster.populate_key(key, &Value::from_u64(1));
+    cluster.populate_key(lock, &Value::from_u64(0));
+    cluster.install_scripted_client(
+        0,
+        vec![
+            KvOp::Read(key),
+            KvOp::Write(key, Value::from_u64(7)),
+            KvOp::Read(key),
+            KvOp::Cas { key: lock, expected: 0, new: 99 },
+            KvOp::Cas { key: lock, expected: 0, new: 100 },
+            KvOp::Delete(key),
+            KvOp::Read(key),
+        ],
+    );
+    cluster.sim.run_for(SimDuration::from_millis(100));
+    let client = cluster.scripted_client(0).unwrap();
+    assert!(client.is_done());
+    let r = client.results();
+    assert_eq!(r[0].value.as_u64(), Some(1));
+    assert_eq!(r[1].status, Some(QueryStatus::Ok));
+    assert_eq!(r[2].value.as_u64(), Some(7));
+    assert_eq!(r[3].status, Some(QueryStatus::Ok));
+    assert_eq!(r[4].status, Some(QueryStatus::CasFailed));
+    assert_eq!(r[5].status, Some(QueryStatus::Ok));
+    assert_eq!(r[6].status, Some(QueryStatus::NotFound), "deleted key is gone");
+    assert_eq!(client.agent_stats().version_regressions, 0);
+}
+
+#[test]
+fn concurrent_clients_never_observe_version_regressions() {
+    let mut cluster = NetChainCluster::testbed(ClusterConfig::default());
+    cluster.populate_store(500, 64);
+    for host in 0..4 {
+        cluster.install_workload_client(
+            host,
+            WorkloadConfig {
+                duration: SimDuration::from_millis(200),
+                rate_qps: 5_000.0,
+                write_ratio: 0.5,
+                num_keys: 500,
+                throughput_bucket: SimDuration::from_millis(200),
+                ..Default::default()
+            },
+        );
+    }
+    cluster.sim.run_for(SimDuration::from_millis(250));
+    let mut total_completed = 0;
+    for host in 0..4 {
+        let stats = cluster.workload_client(host).unwrap().agent_stats();
+        assert_eq!(stats.version_regressions, 0, "host {host} saw a regression");
+        total_completed += stats.completed;
+    }
+    assert!(total_completed > 1_000, "clients made progress: {total_completed}");
+}
+
+#[test]
+fn chain_replicas_converge_after_writes() {
+    let mut cluster = NetChainCluster::testbed(ClusterConfig::default());
+    let key = Key::from_name("convergence");
+    let chain = cluster.populate_key(key, &Value::from_u64(0));
+    cluster.install_scripted_client(
+        0,
+        (1..=20).map(|i| KvOp::Write(key, Value::from_u64(i))).collect(),
+    );
+    cluster.sim.run_for(SimDuration::from_millis(100));
+    assert!(cluster.scripted_client(0).unwrap().is_done());
+    // Every replica stores the final value with the same sequence number.
+    let mut versions = Vec::new();
+    for switch_idx in 0..4 {
+        let node = cluster.switch(switch_idx);
+        let ip = Ipv4Addr::for_switch(switch_idx as u32);
+        if !chain.contains(ip) {
+            continue;
+        }
+        let kv = node.switch().kv();
+        let slot = kv.lookup(&key).expect("chain member stores the key");
+        assert_eq!(kv.read_value(slot).as_u64(), Some(20));
+        versions.push(kv.seq(slot));
+    }
+    assert_eq!(versions.len(), 3);
+    assert!(versions.windows(2).all(|w| w[0] == w[1]), "replicas agree: {versions:?}");
+}
+
+#[test]
+fn middle_switch_failure_heals_without_regressions() {
+    let mut config = ClusterConfig::default();
+    config.ring_switches = Some(3);
+    config.controller = ControllerConfig {
+        recovery_start_delay: SimDuration::from_secs(2),
+        total_sync_duration: SimDuration::from_secs(4),
+        replacement: Some(Ipv4Addr::for_switch(3)),
+        recovery_groups: Some(10),
+        ..ControllerConfig::default()
+    };
+    let mut cluster = NetChainCluster::testbed(config);
+    cluster.populate_store(300, 64);
+    cluster.install_workload_client(
+        0,
+        WorkloadConfig {
+            duration: SimDuration::from_secs(12),
+            rate_qps: 2_000.0,
+            write_ratio: 0.5,
+            num_keys: 300,
+            throughput_bucket: SimDuration::from_secs(1),
+            ..Default::default()
+        },
+    );
+    cluster.fail_switch_at(SimTime::ZERO + SimDuration::from_secs(3), 1);
+    cluster.sim.run_for(SimDuration::from_secs(14));
+
+    let client = cluster.workload_client(0).unwrap();
+    let stats = client.agent_stats();
+    assert_eq!(stats.version_regressions, 0);
+    // The controller completed recovery onto S3.
+    let records = cluster.controller().records();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].replacement_ip, Ipv4Addr::for_switch(3));
+    // Throughput in the final seconds is back near the plateau.
+    let series = client.throughput().rate_series();
+    let plateau: f64 = series.iter().take(3).map(|&(_, r)| r).sum::<f64>() / 3.0;
+    let tail: f64 = series.iter().rev().take(2).map(|&(_, r)| r).sum::<f64>() / 2.0;
+    assert!(
+        tail > plateau * 0.8,
+        "throughput should recover: plateau {plateau:.0}, tail {tail:.0}"
+    );
+    // The replacement switch now holds data.
+    assert!(cluster.switch(3).switch().kv().store_size() > 0);
+}
+
+#[test]
+fn loopback_udp_deployment_round_trips() {
+    use netchain::net::{Deployment, DeploymentConfig};
+    let mut deployment = Deployment::start(DeploymentConfig::default()).expect("loopback sockets");
+    let key = Key::from_name("it/loopback");
+    deployment.populate_key(key, &Value::from_u64(0));
+    let mut client = deployment.client().expect("client");
+    client.write(key, Value::from_u64(77)).expect("write");
+    let read = client.read(key).expect("read");
+    assert_eq!(read.value.as_u64(), Some(77));
+    assert_eq!(client.agent_stats().version_regressions, 0);
+}
+
+#[test]
+fn netchain_outperforms_baseline_on_identical_workload() {
+    use netchain::baseline::{BaselineCluster, BaselineConfig, BaselineWorkload};
+    let duration = SimDuration::from_millis(100);
+
+    // NetChain: one open-loop client at 400 KQPS gets everything answered
+    // (the simulated fabric and switches are nowhere near saturation).
+    let mut cluster = NetChainCluster::testbed(ClusterConfig::default());
+    cluster.populate_store(1_000, 64);
+    cluster.install_workload_client(
+        0,
+        WorkloadConfig {
+            duration,
+            rate_qps: 400_000.0,
+            write_ratio: 0.1,
+            num_keys: 1_000,
+            throughput_bucket: duration,
+            ..Default::default()
+        },
+    );
+    cluster.sim.run_for(duration + SimDuration::from_millis(10));
+    let netchain_completed = cluster.workload_client(0).unwrap().agent_stats().completed;
+
+    // Baseline: closed-loop clients saturate well below that.
+    // Baseline: enough closed-loop concurrency to saturate the servers.
+    let workload = BaselineWorkload {
+        duration,
+        rate_qps: 0.0,
+        closed_loop: 64,
+        write_ratio: 0.1,
+        num_keys: 1_000,
+        throughput_bucket: duration,
+        ..Default::default()
+    };
+    let mut baseline = BaselineCluster::new(
+        BaselineConfig {
+            clients: 1,
+            ..Default::default()
+        },
+        workload,
+    );
+    baseline.populate_store(1_000, 64);
+    baseline.sim.run_for(duration + SimDuration::from_millis(10));
+    let baseline_completed = baseline.total_completed();
+
+    assert!(
+        netchain_completed > 2 * baseline_completed,
+        "NetChain ({netchain_completed}) should clearly outpace the baseline ({baseline_completed})"
+    );
+}
