@@ -67,9 +67,16 @@ impl Barrier {
     }
 
     /// Decodes the reply to an [`Barrier::arrive_op`].
-    pub fn decode_arrival(&self, status: QueryStatus, value: Option<u64>, attempted: u64) -> BarrierStep {
+    pub fn decode_arrival(
+        &self,
+        status: QueryStatus,
+        value: Option<u64>,
+        attempted: u64,
+    ) -> BarrierStep {
         match status {
-            QueryStatus::Ok => BarrierStep::Arrived { count: attempted + 1 },
+            QueryStatus::Ok => BarrierStep::Arrived {
+                count: attempted + 1,
+            },
             QueryStatus::CasFailed => BarrierStep::Retry {
                 current: value.unwrap_or(0),
             },

@@ -106,7 +106,11 @@ mod tests {
         let client = LockClient::new(42);
         let key = lock_key(0, 5);
         match client.acquire(key) {
-            KvOp::Cas { expected, new, key: k } => {
+            KvOp::Cas {
+                expected,
+                new,
+                key: k,
+            } => {
                 assert_eq!((expected, new), (0, 42));
                 assert_eq!(k, key);
             }
@@ -126,7 +130,10 @@ mod tests {
             client.decode(QueryStatus::CasFailed, Some(9)),
             LockOutcome::Busy { holder: 9 }
         );
-        assert_eq!(client.decode(QueryStatus::NotFound, None), LockOutcome::Missing);
+        assert_eq!(
+            client.decode(QueryStatus::NotFound, None),
+            LockOutcome::Missing
+        );
     }
 
     #[test]

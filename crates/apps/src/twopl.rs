@@ -12,9 +12,7 @@
 
 use crate::lock::{lock_key, LockClient};
 use netchain_core::{AgentConfig, AgentCore, ChainDirectory, KvOp, NetMsg};
-use netchain_sim::{
-    Context, Node, NodeId, SimDuration, SimTime, ThroughputSeries, TimerToken,
-};
+use netchain_sim::{Context, Node, NodeId, SimDuration, SimTime, ThroughputSeries, TimerToken};
 use netchain_wire::{Key, QueryStatus};
 use std::any::Any;
 
@@ -230,7 +228,11 @@ impl TxnClient {
                         // happen here; shrink immediately, as in the paper.
                         self.begin_release(held, false, ctx);
                     } else {
-                        self.state = TxnState::Acquiring { locks: locks.clone(), next, held };
+                        self.state = TxnState::Acquiring {
+                            locks: locks.clone(),
+                            next,
+                            held,
+                        };
                         self.stats.lock_attempts += 1;
                         let op = self.lock_client.acquire(locks[next]);
                         self.send_op(op, ctx);
@@ -325,8 +327,10 @@ mod tests {
 
     #[test]
     fn hot_item_count_follows_contention_index() {
-        let mut w = TxnWorkload::default();
-        w.contention_index = 1.0;
+        let mut w = TxnWorkload {
+            contention_index: 1.0,
+            ..Default::default()
+        };
         assert_eq!(w.hot_items(), 1);
         w.contention_index = 0.001;
         assert_eq!(w.hot_items(), 1000);

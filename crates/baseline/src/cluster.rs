@@ -11,9 +11,7 @@ use crate::client::{BaselineClient, BaselineWorkload};
 use crate::cost::ServerCostModel;
 use crate::message::BaselineMsg;
 use crate::server::ZkServer;
-use netchain_sim::{
-    LinkParams, NodeId, SimConfig, SimDuration, Simulator, TopologyBuilder,
-};
+use netchain_sim::{LinkParams, NodeId, SimConfig, SimDuration, Simulator, TopologyBuilder};
 
 /// Configuration of a baseline deployment.
 #[derive(Debug, Clone, Copy)]
@@ -141,7 +139,9 @@ impl BaselineCluster {
 
     /// Total completed queries across all clients.
     pub fn total_completed(&self) -> u64 {
-        (0..self.clients.len()).map(|i| self.client(i).completed()).sum()
+        (0..self.clients.len())
+            .map(|i| self.client(i).completed())
+            .sum()
     }
 }
 

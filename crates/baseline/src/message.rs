@@ -229,11 +229,22 @@ mod tests {
     #[test]
     fn op_classification_and_sizes() {
         assert!(!ZkOp::Read { key: 1 }.is_write());
-        assert!(ZkOp::Write { key: 1, value: vec![0; 8] }.is_write());
+        assert!(ZkOp::Write {
+            key: 1,
+            value: vec![0; 8]
+        }
+        .is_write());
         assert!(ZkOp::Create { key: 1, owner: 2 }.is_write());
         assert!(ZkOp::Delete { key: 1 }.is_write());
         assert_eq!(ZkOp::Read { key: 1 }.key(), 1);
-        assert!(ZkOp::Write { key: 1, value: vec![0; 64] }.wire_size() > 64);
+        assert!(
+            ZkOp::Write {
+                key: 1,
+                value: vec![0; 64]
+            }
+            .wire_size()
+                > 64
+        );
         let seg = Segment {
             seq: 0,
             ack: 0,
@@ -248,7 +259,10 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.apply(&ZkOp::Read { key: 1 }), ZkResult::NotFound);
         assert_eq!(
-            store.apply(&ZkOp::Write { key: 1, value: vec![9] }),
+            store.apply(&ZkOp::Write {
+                key: 1,
+                value: vec![9]
+            }),
             ZkResult::Ok(None)
         );
         assert_eq!(
@@ -256,7 +270,10 @@ mod tests {
             ZkResult::Ok(Some(vec![9]))
         );
         // Create-if-absent behaves like a lock.
-        assert_eq!(store.apply(&ZkOp::Create { key: 2, owner: 7 }), ZkResult::Ok(None));
+        assert_eq!(
+            store.apply(&ZkOp::Create { key: 2, owner: 7 }),
+            ZkResult::Ok(None)
+        );
         assert_eq!(
             store.apply(&ZkOp::Create { key: 2, owner: 8 }),
             ZkResult::AlreadyExists

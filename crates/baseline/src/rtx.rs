@@ -188,13 +188,17 @@ mod tests {
     fn lost_segments_are_retransmitted_after_rto() {
         let mut a = Connection::new(SimDuration::from_millis(2));
         let _lost = a.send(SimTime::ZERO, msg(7));
-        assert!(a.poll_retransmits(SimTime::ZERO + SimDuration::from_millis(1)).is_empty());
+        assert!(a
+            .poll_retransmits(SimTime::ZERO + SimDuration::from_millis(1))
+            .is_empty());
         let retx = a.poll_retransmits(SimTime::ZERO + SimDuration::from_millis(2));
         assert_eq!(retx.len(), 1);
         assert_eq!(retx[0].payload, Some(msg(7)));
         assert_eq!(a.retransmissions, 1);
         // The timer refreshes, so an immediate re-poll is quiet.
-        assert!(a.poll_retransmits(SimTime::ZERO + SimDuration::from_millis(2)).is_empty());
+        assert!(a
+            .poll_retransmits(SimTime::ZERO + SimDuration::from_millis(2))
+            .is_empty());
         assert_eq!(
             a.next_retransmit_deadline(),
             Some(SimTime::ZERO + SimDuration::from_millis(4))

@@ -174,7 +174,15 @@ impl ZkServer {
                 );
                 let done_at = self.occupy(now, self.cost.leader_write_service);
                 for peer in self.peers.clone() {
-                    self.defer(done_at, peer, AppMsg::Propose { zxid, op: op.clone() }, ctx);
+                    self.defer(
+                        done_at,
+                        peer,
+                        AppMsg::Propose {
+                            zxid,
+                            op: op.clone(),
+                        },
+                        ctx,
+                    );
                 }
                 // A single-server "ensemble" commits immediately.
                 if self.quorum <= 1 {

@@ -1,0 +1,133 @@
+//! Throughput benchmarks for the multi-core software switch fabric.
+//!
+//! Two layers are measured:
+//!
+//! * Criterion micro-benchmarks of the fabric's fast paths: zero-copy
+//!   ([`PacketView`]) vs owned parsing, and whole-burst processing through a
+//!   shard (parse → chain waves → batch-encoded replies).
+//! * A scaling report (printed after the micro-benchmarks): aggregate ops/sec
+//!   from [`run_capacity`] — each shard's partition timed run-to-completion,
+//!   aggregated under the one-core-per-shard deployment model — versus worker
+//!   shard count and versus chain length. This is the acceptance measurement:
+//!   4 shards must deliver ≥2× the 1-shard aggregate on the uniform-read
+//!   workload.
+
+use criterion::{black_box, criterion_group, Criterion};
+use netchain_fabric::{build_shards, run_capacity, FabricConfig, WorkloadSpec};
+use netchain_wire::{
+    BatchEncoder, ChainList, Ipv4Addr, Key, NetChainPacket, OpCode, PacketView, Value,
+};
+
+fn read_query_bytes(key: u64) -> Vec<u8> {
+    NetChainPacket::query(
+        Ipv4Addr::for_host(0),
+        40_000,
+        Ipv4Addr::for_switch(0),
+        OpCode::Read,
+        Key::from_u64(key),
+        Value::empty(),
+        ChainList::empty(),
+        key,
+    )
+    .to_bytes()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let bytes = read_query_bytes(42);
+    c.bench_function("fabric/parse_owned", |b| {
+        b.iter(|| NetChainPacket::from_bytes(black_box(&bytes)).unwrap())
+    });
+    c.bench_function("fabric/parse_view", |b| {
+        b.iter(|| PacketView::parse(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_burst(c: &mut Criterion) {
+    let config = FabricConfig::new(1);
+    let workload = WorkloadSpec::uniform_read(1024, 0);
+    let mut shards = build_shards(&config, &workload);
+    let ring = config.build_ring();
+    // A burst of reads addressed to each key's chain tail, like the loadgen.
+    let frames: Vec<Vec<u8>> = (0..config.burst as u64)
+        .map(|i| {
+            let key = Key::from_u64(i % workload.num_keys);
+            NetChainPacket::query(
+                Ipv4Addr::for_host(0),
+                40_000,
+                ring.chain_for_key(&key).tail(),
+                OpCode::Read,
+                key,
+                Value::empty(),
+                ChainList::empty(),
+                i,
+            )
+            .to_bytes()
+        })
+        .collect();
+    let mut replies = BatchEncoder::with_capacity(config.burst, 128);
+    c.bench_function("fabric/shard_burst_32_reads", |b| {
+        b.iter(|| {
+            replies.clear();
+            shards[0].process_burst(frames.iter().map(|f| f.as_slice()), &mut replies);
+            black_box(replies.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_burst);
+
+/// The acceptance measurement: aggregate ops/sec vs worker shard count on the
+/// uniform-read workload, and vs chain length at 4 shards.
+fn scaling_report() {
+    const OPS: u64 = 200_000;
+    const KEYS: u64 = 1024;
+
+    println!("\nfabric scaling: aggregate throughput vs worker shards");
+    println!("(uniform-read, {KEYS} keys, {OPS} ops, one-core-per-shard capacity model)");
+    let mut one_shard = 0.0f64;
+    let mut four_shards = 0.0f64;
+    for shards in [1usize, 2, 4, 8] {
+        let report = run_capacity(
+            FabricConfig::new(shards),
+            WorkloadSpec::uniform_read(KEYS, OPS),
+        );
+        assert_eq!(report.total_ops, OPS);
+        assert_eq!(report.replies, OPS);
+        println!(
+            "  shards={shards}  {:>12.0} ops/sec  (slowest shard {:>10.0} ops/sec busy)",
+            report.aggregate_ops_per_sec,
+            report
+                .per_shard_ops_per_sec
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min),
+        );
+        match shards {
+            1 => one_shard = report.aggregate_ops_per_sec,
+            4 => four_shards = report.aggregate_ops_per_sec,
+            _ => {}
+        }
+    }
+    let speedup = four_shards / one_shard;
+    println!("  4-shard vs 1-shard speedup: {speedup:.2}x (acceptance: >= 2x)");
+    assert!(
+        speedup >= 2.0,
+        "fabric does not scale: 4 shards gave only {speedup:.2}x over 1"
+    );
+
+    println!("\nfabric throughput vs chain length (4 shards, 50% writes)");
+    for replication in [1usize, 2, 3, 4, 5] {
+        let config = FabricConfig::new(4).with_replication(replication);
+        let report = run_capacity(config, WorkloadSpec::mixed(KEYS, OPS, 50, 50));
+        println!(
+            "  chain={replication}  {:>12.0} ops/sec",
+            report.aggregate_ops_per_sec
+        );
+    }
+    println!();
+}
+
+fn main() {
+    benches();
+    scaling_report();
+}

@@ -358,7 +358,9 @@ mod tests {
         assert_eq!(a.stats().completed, 1);
         assert_eq!(a.stats().ok, 1);
         // A duplicate reply is stale.
-        assert!(a.on_reply(SimTime::ZERO + SimDuration::from_micros(20), &reply).is_none());
+        assert!(a
+            .on_reply(SimTime::ZERO + SimDuration::from_micros(20), &reply)
+            .is_none());
         assert_eq!(a.stats().stale_replies, 1);
     }
 
@@ -368,10 +370,19 @@ mod tests {
         let key = Key::from_name("foo");
         // First query observes seq 5 at t=5µs.
         let (_, pkt1) = a.begin(SimTime::ZERO, KvOp::Read(key));
-        a.on_reply(SimTime::ZERO + SimDuration::from_micros(5), &reply_to(pkt1, 5));
+        a.on_reply(
+            SimTime::ZERO + SimDuration::from_micros(5),
+            &reply_to(pkt1, 5),
+        );
         // A second query issued *after* that observation must not see seq 3.
-        let (_, pkt2) = a.begin(SimTime::ZERO + SimDuration::from_micros(10), KvOp::Read(key));
-        a.on_reply(SimTime::ZERO + SimDuration::from_micros(15), &reply_to(pkt2, 3));
+        let (_, pkt2) = a.begin(
+            SimTime::ZERO + SimDuration::from_micros(10),
+            KvOp::Read(key),
+        );
+        a.on_reply(
+            SimTime::ZERO + SimDuration::from_micros(15),
+            &reply_to(pkt2, 3),
+        );
         assert_eq!(a.stats().version_regressions, 1);
     }
 
@@ -384,8 +395,14 @@ mod tests {
         // operations and must not count as a regression.
         let (_, pkt1) = a.begin(SimTime::ZERO, KvOp::Read(key));
         let (_, pkt2) = a.begin(SimTime::ZERO, KvOp::Read(key));
-        a.on_reply(SimTime::ZERO + SimDuration::from_micros(5), &reply_to(pkt1, 5));
-        a.on_reply(SimTime::ZERO + SimDuration::from_micros(6), &reply_to(pkt2, 3));
+        a.on_reply(
+            SimTime::ZERO + SimDuration::from_micros(5),
+            &reply_to(pkt1, 5),
+        );
+        a.on_reply(
+            SimTime::ZERO + SimDuration::from_micros(6),
+            &reply_to(pkt2, 3),
+        );
         assert_eq!(a.stats().version_regressions, 0);
     }
 
@@ -402,14 +419,14 @@ mod tests {
         let mut now = SimTime::ZERO;
         let mut total_retransmits = 0;
         for _ in 0..a.config().max_retries {
-            now = now + config_timeout;
+            now += config_timeout;
             let out = a.poll_retries(now);
             total_retransmits += out.retransmit.len();
             assert!(out.abandoned.is_empty());
         }
         assert_eq!(total_retransmits as u32, a.config().max_retries);
         // One more timeout abandons the query.
-        now = now + config_timeout;
+        now += config_timeout;
         let out = a.poll_retries(now);
         assert_eq!(out.abandoned.len(), 1);
         assert!(out.abandoned[0].is_abandoned());

@@ -133,12 +133,14 @@ impl WorkloadClient {
     }
 
     fn pick_op(&self, ctx: &mut Context<NetMsg>) -> KvOp {
-        let key = Key::from_u64(
-            self.config.key_offset + ctx.random_below(self.config.num_keys.max(1)),
-        );
+        let key =
+            Key::from_u64(self.config.key_offset + ctx.random_below(self.config.num_keys.max(1)));
         if ctx.random_f64() < self.config.write_ratio {
-            let value = Value::filled(0xab, self.config.value_size.min(netchain_wire::MAX_VALUE_LEN))
-                .expect("bounded by MAX_VALUE_LEN");
+            let value = Value::filled(
+                0xab,
+                self.config.value_size.min(netchain_wire::MAX_VALUE_LEN),
+            )
+            .expect("bounded by MAX_VALUE_LEN");
             KvOp::Write(key, value)
         } else {
             KvOp::Read(key)

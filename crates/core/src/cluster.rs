@@ -3,6 +3,7 @@
 //! top of the discrete-event simulator, for either the four-switch testbed of
 //! Figure 8 or an arbitrary spine–leaf fabric (§8.3).
 
+use crate::agent::AgentConfig;
 use crate::client::{ScriptedClient, WorkloadClient, WorkloadConfig};
 use crate::controller::{Controller, ControllerConfig};
 use crate::directory::{AddressMap, ChainDirectory};
@@ -10,7 +11,6 @@ use crate::hashring::HashRing;
 use crate::message::NetMsg;
 use crate::switch_node::SwitchNode;
 use crate::types::KvOp;
-use crate::agent::AgentConfig;
 use netchain_sim::{
     FaultPlan, LinkParams, NodeId, NodeKind, RoutingTables, SimConfig, SimTime, Simulator,
     Topology, TopologyBuilder,
@@ -161,7 +161,10 @@ impl NetChainCluster {
 
         // The ring over switch IPs (optionally only a prefix of the switches,
         // leaving the rest as recovery spares).
-        let ring_count = config.ring_switches.unwrap_or(switches.len()).min(switches.len());
+        let ring_count = config
+            .ring_switches
+            .unwrap_or(switches.len())
+            .min(switches.len());
         let switch_ips: Vec<Ipv4Addr> = (0..ring_count)
             .map(|i| Ipv4Addr::for_switch(i as u32))
             .collect();
@@ -253,12 +256,8 @@ impl NetChainCluster {
             );
         }
         // Controller.
-        let controller_node = Controller::new(
-            config.controller,
-            ring.clone(),
-            addr,
-            switch_neighbors,
-        );
+        let controller_node =
+            Controller::new(config.controller, ring.clone(), addr, switch_neighbors);
         sim.install_node(controller, Box::new(controller_node));
 
         NetChainCluster {
@@ -395,15 +394,12 @@ mod tests {
             let idx = (0..4)
                 .find(|&i| Ipv4Addr::for_switch(i as u32) == ip)
                 .unwrap();
-            assert_eq!(
-                cluster
-                    .switch(idx)
-                    .switch()
-                    .kv()
-                    .lookup(&Key::from_name("foo"))
-                    .is_some(),
-                true
-            );
+            assert!(cluster
+                .switch(idx)
+                .switch()
+                .kv()
+                .lookup(&Key::from_name("foo"))
+                .is_some());
         }
     }
 
@@ -431,8 +427,10 @@ mod tests {
 
     #[test]
     fn spine_leaf_cluster_builds_and_serves() {
-        let mut config = ClusterConfig::default();
-        config.vnodes_per_switch = 4;
+        let config = ClusterConfig {
+            vnodes_per_switch: 4,
+            ..Default::default()
+        };
         let mut cluster = NetChainCluster::spine_leaf(2, 4, 1, config);
         assert_eq!(cluster.layout.switches.len(), 6);
         assert_eq!(cluster.layout.hosts.len(), 4);

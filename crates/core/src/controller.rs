@@ -168,7 +168,10 @@ impl Controller {
     }
 
     fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
-        self.switch_neighbors.get(&node).cloned().unwrap_or_default()
+        self.switch_neighbors
+            .get(&node)
+            .cloned()
+            .unwrap_or_default()
     }
 
     fn send_rule(
@@ -187,7 +190,12 @@ impl Controller {
 
     /// Algorithm 2: install fast-failover rules at the failed switch's
     /// neighbours and bump the session of every switch that became a head.
-    fn fast_failover(&mut self, failed_node: NodeId, failed_ip: Ipv4Addr, ctx: &mut Context<NetMsg>) {
+    fn fast_failover(
+        &mut self,
+        failed_node: NodeId,
+        failed_ip: Ipv4Addr,
+        ctx: &mut Context<NetMsg>,
+    ) {
         for neighbor in self.neighbors_of(failed_node) {
             self.send_rule(
                 ctx,

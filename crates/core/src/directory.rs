@@ -107,8 +107,7 @@ impl ChainDirectory {
         let first_hop = chain.tail();
         let mut rest: Vec<Ipv4Addr> = chain.switches[..chain.len() - 1].to_vec();
         rest.reverse();
-        let remaining =
-            ChainList::new(rest).expect("chains are far shorter than the header limit");
+        let remaining = ChainList::new(rest).expect("chains are far shorter than the header limit");
         QueryRoute {
             first_hop,
             remaining,

@@ -99,7 +99,10 @@ impl HashRing {
         seed: u64,
     ) -> Self {
         assert!(!switches.is_empty(), "a ring needs at least one switch");
-        assert!(vnodes_per_switch > 0, "need at least one virtual node per switch");
+        assert!(
+            vnodes_per_switch > 0,
+            "need at least one virtual node per switch"
+        );
         assert!(replication > 0, "replication factor must be at least 1");
         assert!(
             switches.len() >= replication,

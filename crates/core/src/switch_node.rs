@@ -82,7 +82,9 @@ impl SwitchNode {
                 priority,
                 scope,
             } => {
-                self.switch.forwarding_mut().remove(failed_ip, priority, scope);
+                self.switch
+                    .forwarding_mut()
+                    .remove(failed_ip, priority, scope);
             }
             ControlMsg::InsertKey { key, value } => {
                 // Idempotent from the controller's point of view: re-inserting

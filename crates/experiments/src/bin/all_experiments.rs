@@ -1,24 +1,79 @@
 //! Runs every table/figure reproduction in sequence (several minutes).
-use netchain_experiments::{fig10, fig11, fig9, print_series, table1};
+use netchain_experiments::{fabric_scale, fig10, fig11, fig9, print_series, table1};
 use netchain_sim::SimDuration;
 fn main() {
     table1::print_table1();
-    print_series("Figure 9(a)", "value size (B)", "QPS", &fig9::fig9a(&[0, 16, 32, 64, 96, 128]));
-    print_series("Figure 9(b)", "store size", "QPS", &fig9::fig9b(&[1_000, 20_000, 60_000, 100_000]));
-    print_series("Figure 9(c)", "write ratio (%)", "QPS", &fig9::fig9c(&[0.0, 0.01, 0.2, 0.5, 1.0]));
-    print_series("Figure 9(d)", "loss rate (%)", "QPS", &fig9::fig9d(&[0.0001, 0.001, 0.01, 0.1], SimDuration::from_millis(100)));
-    print_series("Figure 9(e)", "QPS", "latency (µs)", &fig9::fig9e(SimDuration::from_millis(100)));
-    print_series("Figure 9(f)", "switches", "BQPS", &fig9::fig9f(&[6, 12, 24, 48, 96]));
+    print_series(
+        "Figure 9(a)",
+        "value size (B)",
+        "QPS",
+        &fig9::fig9a(&[0, 16, 32, 64, 96, 128]),
+    );
+    print_series(
+        "Figure 9(b)",
+        "store size",
+        "QPS",
+        &fig9::fig9b(&[1_000, 20_000, 60_000, 100_000]),
+    );
+    print_series(
+        "Figure 9(c)",
+        "write ratio (%)",
+        "QPS",
+        &fig9::fig9c(&[0.0, 0.01, 0.2, 0.5, 1.0]),
+    );
+    print_series(
+        "Figure 9(d)",
+        "loss rate (%)",
+        "QPS",
+        &fig9::fig9d(&[0.0001, 0.001, 0.01, 0.1], SimDuration::from_millis(100)),
+    );
+    print_series(
+        "Figure 9(e)",
+        "QPS",
+        "latency (µs)",
+        &fig9::fig9e(SimDuration::from_millis(100)),
+    );
+    print_series(
+        "Figure 9(f)",
+        "switches",
+        "BQPS",
+        &fig9::fig9f(&[6, 12, 24, 48, 96]),
+    );
     for groups in [1u32, 100] {
-        let params = fig10::Fig10Params { virtual_groups: groups, ..Default::default() };
+        let params = fig10::Fig10Params {
+            virtual_groups: groups,
+            ..Default::default()
+        };
         let series = fig10::fig10(params);
-        print_series(&format!("Figure 10 ({groups} vgroups)"), "time (s)", "QPS", &series);
+        print_series(
+            &format!("Figure 10 ({groups} vgroups)"),
+            "time (s)",
+            "QPS",
+            &series,
+        );
         println!("summary: {:?}\n", fig10::summarise(&params, &series[1]));
     }
     print_series(
         "Figure 11",
         "contention index",
         "txn/s",
-        &fig11::fig11(&[1, 10, 100], &[0.001, 0.01, 0.1, 1.0], fig11::Fig11Params::default()),
+        &fig11::fig11(
+            &[1, 10, 100],
+            &[0.001, 0.01, 0.1, 1.0],
+            fig11::Fig11Params::default(),
+        ),
+    );
+    let params = fabric_scale::FabricScaleParams::default();
+    print_series(
+        "Fabric scale: throughput vs worker shards",
+        "worker shards",
+        "ops/sec",
+        &fabric_scale::throughput_vs_shards(params, &[1, 2, 4, 8]),
+    );
+    print_series(
+        "Fabric scale: throughput vs chain length (4 shards)",
+        "chain length (f+1)",
+        "ops/sec",
+        &fabric_scale::throughput_vs_chain_length(params, 4, &[1, 2, 3, 4, 5]),
     );
 }

@@ -1,0 +1,20 @@
+//! Measures the software fabric's aggregate ops/sec vs worker shard count
+//! and vs chain length. Unlike the figure bins, these are real measurements
+//! of this machine, not simulations of the paper's testbed.
+use netchain_experiments::{fabric_scale, print_series};
+
+fn main() {
+    let params = fabric_scale::FabricScaleParams::default();
+    print_series(
+        "Fabric scale: throughput vs worker shards",
+        "worker shards",
+        "ops/sec",
+        &fabric_scale::throughput_vs_shards(params, &[1, 2, 4, 8, 16]),
+    );
+    print_series(
+        "Fabric scale: throughput vs chain length (4 shards)",
+        "chain length (f+1)",
+        "ops/sec",
+        &fabric_scale::throughput_vs_chain_length(params, 4, &[1, 2, 3, 4, 5]),
+    );
+}

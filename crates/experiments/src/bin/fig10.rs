@@ -6,7 +6,11 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
-    let runs: Vec<u32> = if vgroups == 0 { vec![1, 100] } else { vec![vgroups] };
+    let runs: Vec<u32> = if vgroups == 0 {
+        vec![1, 100]
+    } else {
+        vec![vgroups]
+    };
     for groups in runs {
         let params = fig10::Fig10Params {
             virtual_groups: groups,

@@ -4,5 +4,10 @@ fn main() {
     let clients = [1usize, 10, 100];
     let contention = [0.001, 0.01, 0.1, 1.0];
     let series = fig11::fig11(&clients, &contention, fig11::Fig11Params::default());
-    print_series("Figure 11: transaction throughput vs contention index", "contention index", "throughput (txn/s)", &series);
+    print_series(
+        "Figure 11: transaction throughput vs contention index",
+        "contention index",
+        "throughput (txn/s)",
+        &series,
+    );
 }

@@ -3,5 +3,10 @@ use netchain_experiments::{fig9, print_series};
 fn main() {
     let sizes = [0usize, 16, 32, 64, 96, 128];
     let series = fig9::fig9a(&sizes);
-    print_series("Figure 9(a): throughput vs value size", "value size (B)", "throughput (QPS)", &series);
+    print_series(
+        "Figure 9(a): throughput vs value size",
+        "value size (B)",
+        "throughput (QPS)",
+        &series,
+    );
 }

@@ -3,5 +3,10 @@ use netchain_experiments::{fig9, print_series};
 fn main() {
     let sizes = [1_000u64, 20_000, 40_000, 60_000, 80_000, 100_000];
     let series = fig9::fig9b(&sizes);
-    print_series("Figure 9(b): throughput vs store size", "store size (items)", "throughput (QPS)", &series);
+    print_series(
+        "Figure 9(b): throughput vs store size",
+        "store size (items)",
+        "throughput (QPS)",
+        &series,
+    );
 }

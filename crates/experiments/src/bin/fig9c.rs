@@ -3,5 +3,10 @@ use netchain_experiments::{fig9, print_series};
 fn main() {
     let ratios = [0.0, 0.01, 0.2, 0.4, 0.6, 0.8, 1.0];
     let series = fig9::fig9c(&ratios);
-    print_series("Figure 9(c): throughput vs write ratio", "write ratio (%)", "throughput (QPS)", &series);
+    print_series(
+        "Figure 9(c): throughput vs write ratio",
+        "write ratio (%)",
+        "throughput (QPS)",
+        &series,
+    );
 }

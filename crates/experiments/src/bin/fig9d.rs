@@ -4,5 +4,10 @@ use netchain_sim::SimDuration;
 fn main() {
     let losses = [0.00001, 0.0001, 0.001, 0.01, 0.1];
     let series = fig9::fig9d(&losses, SimDuration::from_millis(200));
-    print_series("Figure 9(d): throughput vs packet loss rate", "loss rate (%)", "throughput (QPS)", &series);
+    print_series(
+        "Figure 9(d): throughput vs packet loss rate",
+        "loss rate (%)",
+        "throughput (QPS)",
+        &series,
+    );
 }

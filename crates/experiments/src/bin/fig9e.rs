@@ -3,5 +3,10 @@ use netchain_experiments::{fig9, print_series};
 use netchain_sim::SimDuration;
 fn main() {
     let series = fig9::fig9e(SimDuration::from_millis(200));
-    print_series("Figure 9(e): latency vs throughput", "throughput (QPS)", "latency (µs)", &series);
+    print_series(
+        "Figure 9(e): latency vs throughput",
+        "throughput (QPS)",
+        "latency (µs)",
+        &series,
+    );
 }

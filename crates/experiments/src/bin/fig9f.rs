@@ -3,5 +3,10 @@ use netchain_experiments::{fig9, print_series};
 fn main() {
     let switches = [6usize, 12, 24, 48, 96];
     let series = fig9::fig9f(&switches);
-    print_series("Figure 9(f): scalability", "number of switches", "throughput (BQPS)", &series);
+    print_series(
+        "Figure 9(f): scalability",
+        "number of switches",
+        "throughput (BQPS)",
+        &series,
+    );
 }

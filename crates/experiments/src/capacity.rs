@@ -90,8 +90,26 @@ impl CapacityModel {
                     chain.switches.iter().map(|ip| node_of_ip[ip]).collect();
                 // Read: host -> tail -> host, processing only at the tail.
                 let tail = *chain_nodes.last().expect("non-empty chain");
-                accumulate(&mut read_load, routing, host, tail, tail, passes, samples, flow);
-                accumulate(&mut read_load, routing, tail, host, tail, passes, samples, flow ^ 1);
+                accumulate(
+                    &mut read_load,
+                    routing,
+                    host,
+                    tail,
+                    tail,
+                    passes,
+                    samples,
+                    flow,
+                );
+                accumulate(
+                    &mut read_load,
+                    routing,
+                    tail,
+                    host,
+                    tail,
+                    passes,
+                    samples,
+                    flow ^ 1,
+                );
                 // Write: host -> head -> ... -> tail -> host, processing at
                 // every chain switch.
                 let mut prev = host;
@@ -174,7 +192,11 @@ fn accumulate(
         // it is the destination, so count every hop that is a switch-like
         // forwarder: the caller only passes switch/host mixes where hosts are
         // path endpoints.
-        let cost = if node == processing_node { passes as f64 } else { 1.0 };
+        let cost = if node == processing_node {
+            passes as f64
+        } else {
+            1.0
+        };
         if node != to || node == processing_node {
             *load.entry(node).or_insert(0.0) += cost / samples;
         }

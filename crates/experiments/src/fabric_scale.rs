@@ -1,0 +1,120 @@
+//! The fabric scale run: *measured* ops/sec of the multi-core software
+//! fabric, versus worker shard count and versus chain length.
+//!
+//! Unlike the figure reproductions, which simulate or model the paper's
+//! Tofino testbed, this experiment measures the repo's own software
+//! incarnation of Algorithm 1 on the machine it runs on — the honest
+//! baseline every future scaling PR is compared against. Measurements use
+//! [`netchain_fabric::run_capacity`]: each shard's partition is timed
+//! run-to-completion and aggregated under the one-core-per-shard deployment
+//! model, the same style of extrapolation the paper's §8.3 scalability study
+//! uses, and the only honest way to produce a scaling curve on a machine
+//! with fewer cores than shards.
+
+use crate::series::Series;
+use netchain_fabric::{run_capacity, FabricConfig, WorkloadSpec};
+
+/// Workload shape shared by both scale sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricScaleParams {
+    /// Distinct keys, sampled uniformly.
+    pub num_keys: u64,
+    /// Operations measured per data point.
+    pub ops: u64,
+}
+
+impl Default for FabricScaleParams {
+    fn default() -> Self {
+        FabricScaleParams {
+            num_keys: 1024,
+            ops: 200_000,
+        }
+    }
+}
+
+/// Aggregate throughput vs worker shard count, for a read-only and a mixed
+/// (50% read / 40% write / 10% CAS) workload — the NetChain-vs-baseline
+/// presentation style: two series over the same x axis.
+pub fn throughput_vs_shards(params: FabricScaleParams, shard_counts: &[usize]) -> Vec<Series> {
+    let mut read_points = Vec::new();
+    let mut mixed_points = Vec::new();
+    for &shards in shard_counts {
+        let config = FabricConfig::new(shards);
+        let read = run_capacity(
+            config,
+            WorkloadSpec::uniform_read(params.num_keys, params.ops),
+        );
+        read_points.push((shards as f64, read.aggregate_ops_per_sec));
+        let mixed = run_capacity(
+            config,
+            WorkloadSpec::mixed(params.num_keys, params.ops, 50, 40),
+        );
+        mixed_points.push((shards as f64, mixed.aggregate_ops_per_sec));
+    }
+    vec![
+        Series::new("fabric (100% read)", read_points),
+        Series::new("fabric (50% read, 40% write, 10% CAS)", mixed_points),
+    ]
+}
+
+/// Aggregate throughput vs chain length (`f + 1`) at a fixed shard count.
+/// Longer chains cost proportionally more switch work per write, so the
+/// write-heavy series falls off while the read series stays flat (reads are
+/// served by the tail alone, whatever the chain length).
+pub fn throughput_vs_chain_length(
+    params: FabricScaleParams,
+    shards: usize,
+    chain_lengths: &[usize],
+) -> Vec<Series> {
+    let mut read_points = Vec::new();
+    let mut write_points = Vec::new();
+    for &replication in chain_lengths {
+        let config = FabricConfig::new(shards).with_replication(replication);
+        let read = run_capacity(
+            config,
+            WorkloadSpec::uniform_read(params.num_keys, params.ops),
+        );
+        read_points.push((replication as f64, read.aggregate_ops_per_sec));
+        let mixed = run_capacity(
+            config,
+            WorkloadSpec::mixed(params.num_keys, params.ops, 50, 50),
+        );
+        write_points.push((replication as f64, mixed.aggregate_ops_per_sec));
+    }
+    vec![
+        Series::new("fabric (100% read)", read_points),
+        Series::new("fabric (50% write)", write_points),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FabricScaleParams {
+        FabricScaleParams {
+            num_keys: 128,
+            ops: 4_000,
+        }
+    }
+
+    #[test]
+    fn shard_sweep_produces_positive_throughput_per_point() {
+        let series = throughput_vs_shards(small(), &[1, 2]);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+            assert!(s.points.iter().all(|&(_, y)| y > 0.0), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn chain_sweep_covers_every_length() {
+        let series = throughput_vs_chain_length(small(), 2, &[1, 3]);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+            assert!(s.points.iter().all(|&(_, y)| y > 0.0), "{s:?}");
+        }
+    }
+}

@@ -50,15 +50,18 @@ impl Default for Fig10Params {
 /// time series: one absolute series ("throughput (QPS)") and one normalised
 /// to the pre-failure plateau ("normalised").
 pub fn fig10(params: Fig10Params) -> Vec<Series> {
-    let mut config = ClusterConfig::default();
-    // S0–S2 form the ring; S3 is the spare that replaces the failed switch.
-    config.ring_switches = Some(3);
-    config.controller = ControllerConfig {
-        recovery_start_delay: params.recovery_delay,
-        total_sync_duration: params.sync_duration,
-        replacement: Some(Ipv4Addr::for_switch(3)),
-        recovery_groups: Some(params.virtual_groups),
-        ..ControllerConfig::default()
+    let config = ClusterConfig {
+        // S0–S2 form the ring; S3 is the spare that replaces the failed
+        // switch.
+        ring_switches: Some(3),
+        controller: ControllerConfig {
+            recovery_start_delay: params.recovery_delay,
+            total_sync_duration: params.sync_duration,
+            replacement: Some(Ipv4Addr::for_switch(3)),
+            recovery_groups: Some(params.virtual_groups),
+            ..ControllerConfig::default()
+        },
+        ..Default::default()
     };
     let mut cluster = NetChainCluster::testbed(config);
     cluster.populate_store(2_000, 64);
@@ -75,7 +78,9 @@ pub fn fig10(params: Fig10Params) -> Vec<Series> {
     );
     // Fail S1 (a middle switch for most chains).
     cluster.fail_switch_at(SimTime::ZERO + params.fail_at, 1);
-    cluster.sim.run_for(params.total + SimDuration::from_secs(2));
+    cluster
+        .sim
+        .run_for(params.total + SimDuration::from_secs(2));
 
     let client = cluster.workload_client(0).expect("installed");
     let series = client.throughput().rate_series();
@@ -147,7 +152,11 @@ pub fn summarise(params: &Fig10Params, normalised: &Series) -> Fig10Summary {
         .fold(f64::INFINITY, f64::min);
     Fig10Summary {
         recovery_mean: window_mean(recovery_start + 5.0, recovery_end - 5.0),
-        failover_dip: if failover_dip.is_finite() { failover_dip } else { 0.0 },
+        failover_dip: if failover_dip.is_finite() {
+            failover_dip
+        } else {
+            0.0
+        },
         post_recovery_mean: window_mean(recovery_end + 2.0, params.total.as_secs_f64()),
     }
 }

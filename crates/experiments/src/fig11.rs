@@ -42,8 +42,10 @@ impl Default for Fig11Params {
 pub fn netchain_txn_throughput(clients: usize, contention_index: f64, params: Fig11Params) -> f64 {
     // A fabric with enough hosts for the requested client count.
     let hosts_per_leaf = clients.div_ceil(4).max(1);
-    let mut config = ClusterConfig::default();
-    config.vnodes_per_switch = 8;
+    let config = ClusterConfig {
+        vnodes_per_switch: 8,
+        ..Default::default()
+    };
     let mut cluster = NetChainCluster::spine_leaf(2, 4, hosts_per_leaf, config);
 
     let workload = TxnWorkload {

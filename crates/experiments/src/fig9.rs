@@ -26,7 +26,12 @@ fn testbed_cluster() -> NetChainCluster {
     NetChainCluster::testbed(ClusterConfig::default())
 }
 
-fn netchain_plateau_qps(cluster: &NetChainCluster, write_ratio: f64, passes: usize, servers: usize) -> f64 {
+fn netchain_plateau_qps(
+    cluster: &NetChainCluster,
+    write_ratio: f64,
+    passes: usize,
+    servers: usize,
+) -> f64 {
     let model = CapacityModel {
         switch_pps: calib::SWITCH_PPS,
         client_injection_qps: 0.0,
@@ -54,7 +59,10 @@ pub fn fig9a(value_sizes: &[usize]) -> Vec<Series> {
             .iter()
             .map(|&size| {
                 let passes = pipeline.passes_for_value(size);
-                (size as f64, netchain_plateau_qps(&cluster, 0.01, passes, servers))
+                (
+                    size as f64,
+                    netchain_plateau_qps(&cluster, 0.01, passes, servers),
+                )
             })
             .collect();
         series.push(Series::new(format!("NetChain({servers})"), points));
@@ -147,7 +155,12 @@ pub fn fig9c(write_ratios: &[f64]) -> Vec<Series> {
         "NetChain(max)",
         write_ratios
             .iter()
-            .map(|&w| (w * 100.0, netchain_plateau_qps(&cluster, w, 1, usize::MAX / 2)))
+            .map(|&w| {
+                (
+                    w * 100.0,
+                    netchain_plateau_qps(&cluster, w, 1, usize::MAX / 2),
+                )
+            })
             .collect(),
     ));
     series.push(Series::new(
@@ -169,8 +182,10 @@ pub fn fig9d(loss_rates: &[f64], sim_duration: SimDuration) -> Vec<Series> {
     let mut zookeeper_points = Vec::new();
     for &loss in loss_rates {
         // --- NetChain: goodput fraction at a scaled offered load. ---
-        let mut config = ClusterConfig::default();
-        config.link = LinkParams::datacenter_40g().with_loss(loss);
+        let config = ClusterConfig {
+            link: LinkParams::datacenter_40g().with_loss(loss),
+            ..Default::default()
+        };
         let mut cluster = NetChainCluster::testbed(config);
         cluster.populate_store(1_000, 64);
         let offered_per_client = 50_000.0;
@@ -288,8 +303,10 @@ pub fn fig9e(sim_duration: SimDuration) -> Vec<Series> {
             throughput_bucket: sim_duration,
             ..Default::default()
         };
-        let mut config = BaselineConfig::default();
-        config.clients = 4;
+        let config = BaselineConfig {
+            clients: 4,
+            ..Default::default()
+        };
         let mut baseline = BaselineCluster::new(config, workload);
         baseline.populate_store(1_000, 64);
         baseline
@@ -340,8 +357,10 @@ pub fn fig9f(switch_counts: &[usize]) -> Vec<Series> {
         // Keep the modelled host count moderate: the capacity model samples
         // hosts anyway, and the client bound is disabled here.
         let hosts_per_leaf = 4;
-        let mut config = ClusterConfig::default();
-        config.vnodes_per_switch = 8;
+        let config = ClusterConfig {
+            vnodes_per_switch: 8,
+            ..Default::default()
+        };
         let cluster = NetChainCluster::spine_leaf(spines, leaves, hosts_per_leaf, config);
         let model = CapacityModel {
             switch_pps: calib::SWITCH_PPS,
@@ -383,10 +402,16 @@ mod tests {
         let series = fig9a(&[0, 64, 128]);
         let nc4 = series.iter().find(|s| s.name == "NetChain(4)").unwrap();
         for &(_, y) in &nc4.points {
-            assert!((y - 82.0e6).abs() < 1.0, "NetChain(4) should stay at 82 MQPS, got {y}");
+            assert!(
+                (y - 82.0e6).abs() < 1.0,
+                "NetChain(4) should stay at 82 MQPS, got {y}"
+            );
         }
         let zk = series.iter().find(|s| s.name == "ZooKeeper").unwrap();
-        assert!(nc4.points[0].1 / zk.points[0].1 > 100.0, "orders of magnitude gap");
+        assert!(
+            nc4.points[0].1 / zk.points[0].1 > 100.0,
+            "orders of magnitude gap"
+        );
     }
 
     #[test]

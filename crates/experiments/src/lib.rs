@@ -20,6 +20,11 @@
 //!   process a packet per query and divides the per-switch packet budget by
 //!   that load.
 //!
+//! A third kind of run, [`fabric_scale`], is *not* a reproduction: it
+//! measures the repo's own multi-core software fabric (`netchain-fabric`)
+//! on the machine at hand — real ops/sec versus worker shards and chain
+//! length, the baseline future scaling PRs are compared against.
+//!
 //! Calibration constants taken from the paper's own measurements (server
 //! rates, client stack delays, ZooKeeper reference points) are concentrated
 //! in [`calib`] and clearly labelled.
@@ -29,6 +34,7 @@
 
 pub mod calib;
 pub mod capacity;
+pub mod fabric_scale;
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;

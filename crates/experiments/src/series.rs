@@ -1,9 +1,7 @@
 //! Result series and plain-text/JSON reporting.
 
-use serde::Serialize;
-
 /// One named data series: `(x, y)` points.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label (matches the paper's legend, e.g. "NetChain(4)").
     pub name: String,
@@ -58,11 +56,58 @@ pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[Series]
         }
         println!();
     }
-    match serde_json::to_string(&series) {
-        Ok(json) => println!("JSON: {json}"),
-        Err(err) => println!("JSON serialisation failed: {err}"),
-    }
+    println!("JSON: {}", series_to_json(series));
     println!();
+}
+
+/// Serialises series to JSON by hand (the build is offline, so no serde).
+/// The structure matches what `serde_json` would emit for the same struct —
+/// `[{"name":"…","points":[[x,y],…]},…]` — though number *formatting* may
+/// differ from serde's shortest-representation output for extreme
+/// magnitudes (both parse to the same `f64`).
+pub fn series_to_json(series: &[Series]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        for c in s.name.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\",\"points\":[");
+        for (j, &(x, y)) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            out.push_str(&json_f64(x));
+            out.push(',');
+            out.push_str(&json_f64(y));
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    out
+}
+
+/// JSON number formatting: integral floats keep a trailing `.0`, like serde.
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        // JSON has no NaN/inf; null is what serde_json emits for them.
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
 }
 
 #[cfg(test)]

@@ -15,14 +15,13 @@ use netchain_baseline::ServerCostModel;
 /// the characteristic collapse from 230 KQPS to 27 KQPS (Figure 9(c)).
 pub fn zk_saturation_qps(cost: &ServerCostModel, servers: usize, write_ratio: f64) -> f64 {
     let read_cost = cost.read_service.as_secs_f64() / servers as f64;
-    let write_cost = cost.leader_write_service.as_secs_f64()
-        + cost.follower_write_service.as_secs_f64() * 0.0; // follower work is parallel
+    let write_cost =
+        cost.leader_write_service.as_secs_f64() + cost.follower_write_service.as_secs_f64() * 0.0; // follower work is parallel
     let per_query = (1.0 - write_ratio) * read_cost + write_ratio * write_cost;
     // Each write additionally occupies the leader for the read share it would
     // otherwise serve; the leader serves 1/servers of the reads.
-    let leader_per_query =
-        (1.0 - write_ratio) * cost.read_service.as_secs_f64() / servers as f64
-            + write_ratio * cost.leader_write_service.as_secs_f64();
+    let leader_per_query = (1.0 - write_ratio) * cost.read_service.as_secs_f64() / servers as f64
+        + write_ratio * cost.leader_write_service.as_secs_f64();
     1.0 / per_query.max(leader_per_query)
 }
 

@@ -1,0 +1,419 @@
+//! The fabric runtime: shard workers, client threads, and the capacity
+//! (sequential-makespan) measurement mode.
+//!
+//! Two ways to run the same dataplane:
+//!
+//! * [`run_live`] — spawns one OS thread per shard and per client, connected
+//!   by the lock-free SPSC rings. This is the deployment shape: on a machine
+//!   with one core per thread (pin with `taskset`/cgroups; `std` exposes no
+//!   affinity API), aggregate throughput scales with shards because shards
+//!   share nothing.
+//! * [`run_capacity`] — processes each shard's partition sequentially on the
+//!   measuring core, timing only dataplane work, and reports the aggregate
+//!   for the one-core-per-shard deployment model (`total ops / slowest
+//!   shard`). This mirrors how the paper evaluates scalability beyond its
+//!   testbed (§8.3) and gives meaningful scaling curves even when the
+//!   benchmark machine has fewer cores than shards.
+
+use crate::frame::Frame;
+use crate::loadgen::{ClientState, WorkloadSpec};
+use crate::ring::{ring, Consumer, Producer};
+use crate::shard::Shard;
+use crate::stats::{CapacityReport, ClientReport, FabricReport, ShardStats};
+use netchain_core::HashRing;
+use netchain_switch::PipelineConfig;
+use netchain_wire::{BatchEncoder, Ipv4Addr, Key, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How long a live-run client may go without any progress (no push, no
+/// reply) before the run is declared wedged. Generous: a healthy fabric
+/// makes progress every few microseconds even on one core.
+const STALL_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Static configuration of a fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricConfig {
+    /// Worker shards (the scaling axis).
+    pub num_shards: usize,
+    /// Load-generating clients.
+    pub num_clients: usize,
+    /// Switches on the consistent-hash ring.
+    pub num_switches: usize,
+    /// Virtual nodes per switch.
+    pub vnodes_per_switch: usize,
+    /// Chain length (`f + 1`).
+    pub replication: usize,
+    /// Ring placement seed.
+    pub ring_seed: u64,
+    /// Capacity of each SPSC ring, in frames.
+    pub ring_capacity: usize,
+    /// Frames pulled/processed per burst.
+    pub burst: usize,
+}
+
+impl FabricConfig {
+    /// A fabric with `num_shards` workers and paper-style defaults
+    /// elsewhere: 8 switches, chains of 3, one client.
+    pub fn new(num_shards: usize) -> Self {
+        FabricConfig {
+            num_shards,
+            num_clients: 1,
+            num_switches: 8,
+            vnodes_per_switch: 16,
+            replication: 3,
+            ring_seed: 7,
+            ring_capacity: 256,
+            burst: 32,
+        }
+    }
+
+    /// Returns a copy with the given chain length.
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Returns a copy with the given client count.
+    pub fn with_clients(mut self, num_clients: usize) -> Self {
+        self.num_clients = num_clients;
+        self
+    }
+
+    /// The consistent-hash ring this fabric serves.
+    pub fn build_ring(&self) -> HashRing {
+        HashRing::new(
+            (0..self.num_switches as u32)
+                .map(Ipv4Addr::for_switch)
+                .collect(),
+            self.vnodes_per_switch,
+            self.replication,
+            self.ring_seed,
+        )
+    }
+
+    /// A pipeline geometry sized for `num_keys` distinct keys (paper stage
+    /// shape, store scaled to the workload instead of 8 MB per switch).
+    pub fn pipeline_for(num_keys: u64) -> PipelineConfig {
+        PipelineConfig {
+            value_stages: 8,
+            bytes_per_stage: 16,
+            slots_per_stage: (num_keys as usize * 2).next_power_of_two().max(64),
+            sram_budget_bytes: usize::MAX / 2,
+        }
+    }
+
+    /// The shard owning `key` (the steering rule lives in
+    /// [`crate::shard::shard_of_key`]).
+    pub fn shard_of(&self, ring: &HashRing, key: &Key) -> usize {
+        crate::shard::shard_of_key(ring, key, self.num_shards)
+    }
+}
+
+/// Builds the shards and pre-populates every workload key on its owner.
+pub fn build_shards(config: &FabricConfig, workload: &WorkloadSpec) -> Vec<Shard> {
+    let ring = config.build_ring();
+    let pipeline = FabricConfig::pipeline_for(workload.num_keys);
+    let mut shards: Vec<Shard> = (0..config.num_shards)
+        .map(|i| Shard::new(i, config.num_shards, ring.clone(), pipeline))
+        .collect();
+    for k in 0..workload.num_keys {
+        let key = Key::from_u64(k);
+        let shard = config.shard_of(&ring, &key);
+        shards[shard].populate(key, &Value::from_u64(0));
+    }
+    shards
+}
+
+/// Runs the fabric live: one thread per shard, one per client, SPSC rings in
+/// between. Returns after every client completed its share.
+pub fn run_live(config: FabricConfig, workload: WorkloadSpec) -> FabricReport {
+    assert!(config.num_shards > 0 && config.num_clients > 0);
+    assert!(
+        config.ring_capacity >= workload.window,
+        "rings must hold a full client window to rule out deadlock"
+    );
+    let ring_def = config.build_ring();
+    let shards = build_shards(&config, &workload);
+
+    // Rings: query[c][s] (client → shard) and reply[s][c] (shard → client).
+    let mut query_tx: Vec<Vec<Producer<Frame>>> =
+        (0..config.num_clients).map(|_| Vec::new()).collect();
+    let mut query_rx: Vec<Vec<Consumer<Frame>>> =
+        (0..config.num_shards).map(|_| Vec::new()).collect();
+    let mut reply_tx: Vec<Vec<Producer<Frame>>> =
+        (0..config.num_shards).map(|_| Vec::new()).collect();
+    let mut reply_rx: Vec<Vec<Consumer<Frame>>> =
+        (0..config.num_clients).map(|_| Vec::new()).collect();
+    for client_rings in query_tx.iter_mut() {
+        for shard_rings in query_rx.iter_mut() {
+            let (tx, rx) = ring::<Frame>(config.ring_capacity);
+            client_rings.push(tx);
+            shard_rings.push(rx);
+        }
+    }
+    for shard_rings in reply_tx.iter_mut() {
+        for client_rings in reply_rx.iter_mut() {
+            let (tx, rx) = ring::<Frame>(config.ring_capacity);
+            shard_rings.push(tx);
+            client_rings.push(rx);
+        }
+    }
+
+    let done_clients = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+
+    // Shard workers.
+    let mut shard_handles = Vec::new();
+    for (s, mut shard) in shards.into_iter().enumerate() {
+        let mut ingress = std::mem::take(&mut query_rx[s]);
+        let mut egress = std::mem::take(&mut reply_tx[s]);
+        let done = Arc::clone(&done_clients);
+        let burst = config.burst;
+        let num_clients = config.num_clients;
+        let handle = std::thread::Builder::new()
+            .name(format!("fabric-shard-{s}"))
+            .spawn(move || {
+                let mut frames: Vec<Frame> = Vec::with_capacity(burst);
+                let mut replies = BatchEncoder::with_capacity(burst, 128);
+                loop {
+                    let mut any = false;
+                    for c in 0..num_clients {
+                        frames.clear();
+                        if ingress[c].pop_batch(&mut frames, burst) == 0 {
+                            continue;
+                        }
+                        any = true;
+                        replies.clear();
+                        shard.process_burst(frames.iter().map(|f| f.as_bytes()), &mut replies);
+                        for frame in replies.frames() {
+                            let mut item =
+                                Some(Frame::from_bytes(frame).expect("replies fit in a frame"));
+                            // The reply ring is sized for a full window, so
+                            // this loop terminates once the client drains.
+                            loop {
+                                match egress[c].push(item.take().expect("refilled on Err")) {
+                                    Ok(()) => break,
+                                    Err(back) => {
+                                        item = Some(back);
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if !any {
+                        if done.load(Ordering::Acquire) == num_clients
+                            && ingress.iter_mut().all(|r| r.is_empty_now())
+                        {
+                            break;
+                        }
+                        // Single-core friendliness: let clients run instead
+                        // of spinning the shard.
+                        std::thread::yield_now();
+                    }
+                }
+                (shard.id(), *shard.stats())
+            })
+            .expect("spawn shard thread");
+        shard_handles.push(handle);
+    }
+
+    // Client threads.
+    let mut client_handles = Vec::new();
+    for c in 0..config.num_clients {
+        let mut tx = std::mem::take(&mut query_tx[c]);
+        let mut rx = std::mem::take(&mut reply_rx[c]);
+        let ring_clone = ring_def.clone();
+        let done = Arc::clone(&done_clients);
+        let cfg = config;
+        let handle = std::thread::Builder::new()
+            .name(format!("fabric-client-{c}"))
+            .spawn(move || {
+                let mut client = ClientState::new(c as u32, &ring_clone, workload);
+                let mut parked: Option<(usize, Frame)> = None;
+                let mut reply_buf: Vec<Frame> = Vec::with_capacity(cfg.burst);
+                // Stall watchdog: clients have no retransmission, so a query
+                // the dataplane drops (parse error, unroutable, a future
+                // failover rule) would otherwise hang the run silently with
+                // the window never draining. Trade the silent hang for a
+                // loud panic with the client's state attached.
+                let mut last_progress = Instant::now();
+                while !client.is_done() {
+                    let mut progressed = false;
+                    // Re-offer a frame that found its ring full.
+                    if let Some((s, frame)) = parked.take() {
+                        match tx[s].push(frame) {
+                            Ok(()) => progressed = true,
+                            Err(back) => parked = Some((s, back)),
+                        }
+                    }
+                    // Fill the window.
+                    while parked.is_none() && client.can_issue() {
+                        let pkt = client.issue();
+                        let s = cfg.shard_of(&ring_clone, &pkt.netchain.key);
+                        let frame = Frame::from_packet(&pkt).expect("queries fit in a frame");
+                        match tx[s].push(frame) {
+                            Ok(()) => progressed = true,
+                            Err(back) => parked = Some((s, back)),
+                        }
+                    }
+                    // Drain replies.
+                    for shard_rx in rx.iter_mut() {
+                        reply_buf.clear();
+                        if shard_rx.pop_batch(&mut reply_buf, cfg.burst) > 0 {
+                            progressed = true;
+                            for frame in &reply_buf {
+                                client.absorb_reply(frame.as_bytes());
+                            }
+                        }
+                    }
+                    if !progressed {
+                        assert!(
+                            last_progress.elapsed() < STALL_TIMEOUT,
+                            "fabric client {c} stalled for {STALL_TIMEOUT:?}: \
+                             {} outstanding, report {:?} — a query was \
+                             dropped by the dataplane and clients do not \
+                             retransmit",
+                            client.outstanding(),
+                            client.report(),
+                        );
+                        std::thread::yield_now();
+                    } else {
+                        last_progress = Instant::now();
+                    }
+                }
+                done.fetch_add(1, Ordering::Release);
+                client.report()
+            })
+            .expect("spawn client thread");
+        client_handles.push(handle);
+    }
+
+    let clients: Vec<ClientReport> = client_handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+    let elapsed = start.elapsed();
+    let mut shard_stats = vec![ShardStats::default(); config.num_shards];
+    for handle in shard_handles {
+        let (id, stats) = handle.join().expect("shard thread panicked");
+        shard_stats[id] = stats;
+    }
+    let completed_ops: u64 = clients.iter().map(|c| c.completed).sum();
+    FabricReport {
+        elapsed,
+        completed_ops,
+        ops_per_sec: completed_ops as f64 / elapsed.as_secs_f64().max(1e-12),
+        shards: shard_stats,
+        clients,
+    }
+}
+
+/// Measures aggregate capacity for the one-core-per-shard deployment model.
+///
+/// The whole op stream is generated up front (generation and reply matching
+/// are *not* timed), partitioned by owning shard, and each shard's partition
+/// is processed run-to-completion in bursts on the measuring core. Only the
+/// `process_burst` calls are timed; the aggregate assumes shards run in
+/// parallel, so it is `total ops / max(shard busy time)`.
+pub fn run_capacity(config: FabricConfig, workload: WorkloadSpec) -> CapacityReport {
+    assert!(config.num_shards > 0);
+    let ring_def = config.build_ring();
+    let mut shards = build_shards(&config, &workload);
+
+    // Generate and steer the op stream (untimed).
+    let mut client = ClientState::new(0, &ring_def, workload);
+    let mut per_shard: Vec<Vec<Frame>> = (0..config.num_shards).map(|_| Vec::new()).collect();
+    for _ in 0..workload.ops_per_client {
+        // Capacity mode is not closed-loop: issue everything up front. Keep
+        // the agent's window out of the way.
+        let pkt = client.issue_unbounded();
+        let s = config.shard_of(&ring_def, &pkt.netchain.key);
+        per_shard[s].push(Frame::from_packet(&pkt).expect("queries fit in a frame"));
+    }
+
+    // Process each partition, timing dataplane work only. Replies are
+    // matched back into the agent after every burst (untimed) — this
+    // completes the closed loop for correctness accounting while keeping
+    // the reply buffer bounded by one burst instead of the whole run.
+    let mut report = CapacityReport::default();
+    let mut replies = BatchEncoder::with_capacity(config.burst, 128);
+    let mut reply_count: u64 = 0;
+    for (s, frames) in per_shard.iter().enumerate() {
+        let shard = &mut shards[s];
+        let mut busy = std::time::Duration::ZERO;
+        for burst in frames.chunks(config.burst) {
+            replies.clear();
+            let t0 = Instant::now();
+            shard.process_burst(burst.iter().map(|f| f.as_bytes()), &mut replies);
+            busy += t0.elapsed();
+            for frame in replies.frames() {
+                reply_count += 1;
+                client.absorb_reply(frame);
+            }
+        }
+        report.shard_ops.push(frames.len() as u64);
+        report.shard_busy.push(busy);
+        report
+            .per_shard_ops_per_sec
+            .push(frames.len() as f64 / busy.as_secs_f64().max(1e-12));
+    }
+    report.replies = reply_count;
+    report.total_ops = report.shard_ops.iter().sum();
+    let makespan = report
+        .shard_busy
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or_default()
+        .as_secs_f64()
+        .max(1e-12);
+    report.aggregate_ops_per_sec = report.total_ops as f64 / makespan;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_run_completes_and_is_consistent() {
+        let config = FabricConfig {
+            num_shards: 2,
+            num_clients: 2,
+            ring_capacity: 128,
+            ..FabricConfig::new(2)
+        };
+        let workload = WorkloadSpec::mixed(64, 2_000, 60, 30);
+        let report = run_live(config, workload);
+        assert_eq!(report.completed_ops, 4_000);
+        assert!(report.ops_per_sec > 0.0);
+        for client in &report.clients {
+            assert_eq!(client.completed, 2_000);
+            assert_eq!(client.version_regressions, 0);
+        }
+        let replies: u64 = report.shards.iter().map(|s| s.replies).sum();
+        assert_eq!(replies, 4_000);
+        let drops: u64 = report.shards.iter().map(|s| s.drops).sum();
+        assert_eq!(drops, 0);
+        let unroutable: u64 = report.shards.iter().map(|s| s.unroutable).sum();
+        assert_eq!(unroutable, 0);
+    }
+
+    #[test]
+    fn capacity_run_accounts_every_op() {
+        let config = FabricConfig::new(4);
+        let workload = WorkloadSpec::uniform_read(64, 4_000);
+        let report = run_capacity(config, workload);
+        assert_eq!(report.total_ops, 4_000);
+        assert_eq!(report.replies, 4_000);
+        assert_eq!(report.shard_ops.len(), 4);
+        assert!(report.aggregate_ops_per_sec > 0.0);
+        // Uniform keys spread over shards: no shard should be starved.
+        for &ops in &report.shard_ops {
+            assert!(ops > 200, "imbalanced steering: {:?}", report.shard_ops);
+        }
+    }
+}

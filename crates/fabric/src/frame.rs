@@ -1,0 +1,99 @@
+//! Fixed-size inline packet frames: the unit carried by the fabric's rings.
+//!
+//! A NetChain packet is small and strictly bounded (Ethernet + IPv4 + UDP +
+//! fixed header + 16 chain hops + 128-byte value = 273 bytes), so frames
+//! store the serialized bytes inline rather than boxing them. Moving a frame
+//! through a ring is a memcpy into a pre-allocated slot — the rings never
+//! touch the allocator, and the consumer parses straight out of the slot with
+//! the zero-copy [`netchain_wire::PacketView`].
+
+use netchain_wire::{
+    NetChainPacket, WireError, WireResult, ETHERNET_HEADER_LEN, IPV4_HEADER_LEN, MAX_CHAIN_LEN,
+    MAX_VALUE_LEN, NETCHAIN_FIXED_HEADER_LEN, UDP_HEADER_LEN,
+};
+
+/// Maximum serialized size of a NetChain packet.
+pub const MAX_FRAME_LEN: usize = ETHERNET_HEADER_LEN
+    + IPV4_HEADER_LEN
+    + UDP_HEADER_LEN
+    + NETCHAIN_FIXED_HEADER_LEN
+    + MAX_CHAIN_LEN * 4
+    + MAX_VALUE_LEN;
+
+/// One serialized packet, stored inline.
+#[derive(Clone)]
+pub struct Frame {
+    len: u16,
+    bytes: [u8; MAX_FRAME_LEN],
+}
+
+impl Frame {
+    /// Serializes `pkt` into a frame.
+    pub fn from_packet(pkt: &NetChainPacket) -> WireResult<Frame> {
+        let mut frame = Frame {
+            len: 0,
+            bytes: [0u8; MAX_FRAME_LEN],
+        };
+        let written = pkt.emit_into(&mut frame.bytes)?;
+        frame.len = written as u16;
+        Ok(frame)
+    }
+
+    /// Copies raw packet bytes (e.g. one [`netchain_wire::BatchEncoder`]
+    /// frame) into a frame.
+    pub fn from_bytes(bytes: &[u8]) -> WireResult<Frame> {
+        if bytes.len() > MAX_FRAME_LEN {
+            return Err(WireError::BufferTooSmall {
+                needed: bytes.len(),
+                available: MAX_FRAME_LEN,
+            });
+        }
+        let mut frame = Frame {
+            len: bytes.len() as u16,
+            bytes: [0u8; MAX_FRAME_LEN],
+        };
+        frame.bytes[..bytes.len()].copy_from_slice(bytes);
+        Ok(frame)
+    }
+
+    /// The serialized packet bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..usize::from(self.len)]
+    }
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frame").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netchain_wire::{ChainList, Ipv4Addr, Key, OpCode, PacketView, Value};
+
+    #[test]
+    fn frame_roundtrips_largest_packet() {
+        let pkt = NetChainPacket::query(
+            Ipv4Addr::for_host(1),
+            40_000,
+            Ipv4Addr::for_switch(0),
+            OpCode::Write,
+            Key::from_u64(9),
+            Value::filled(0xaa, MAX_VALUE_LEN).unwrap(),
+            ChainList::new(
+                (0..MAX_CHAIN_LEN as u32)
+                    .map(Ipv4Addr::for_switch)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+            1,
+        );
+        assert_eq!(pkt.wire_size(), MAX_FRAME_LEN);
+        let frame = Frame::from_packet(&pkt).unwrap();
+        assert_eq!(PacketView::parse(frame.as_bytes()).unwrap().to_owned(), pkt);
+        let copy = Frame::from_bytes(frame.as_bytes()).unwrap();
+        assert_eq!(copy.as_bytes(), frame.as_bytes());
+    }
+}

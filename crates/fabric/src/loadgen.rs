@@ -1,0 +1,218 @@
+//! The closed-loop load generator.
+//!
+//! Each client owns a sans-IO [`AgentCore`] — the very same packet
+//! construction and reply-matching logic the simulator's clients and the UDP
+//! loopback deployment use — plus a seeded PRNG that samples keys and a
+//! read/write/CAS op mix. Clients are *closed loop*: each keeps a bounded
+//! window of queries outstanding and only issues a new one when a reply
+//! retires an old one, the standard way to measure a service's sustainable
+//! rate without open-loop overload artefacts.
+
+use crate::stats::ClientReport;
+use netchain_core::{AgentConfig, AgentCore, ChainDirectory, HashRing, KvOp};
+use netchain_sim::SimTime;
+use netchain_wire::{Ipv4Addr, Key, NetChainPacket, PacketView, QueryStatus, Value};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The operation mix and intensity of a workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of distinct keys, sampled uniformly.
+    pub num_keys: u64,
+    /// Percentage of reads (0–100).
+    pub read_pct: u8,
+    /// Percentage of writes; the remainder after reads + writes is CAS.
+    pub write_pct: u8,
+    /// Outstanding queries per client (closed-loop window).
+    pub window: usize,
+    /// Operations each client completes before stopping.
+    pub ops_per_client: u64,
+    /// PRNG seed (each client derives its own stream from this).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The uniform-read workload the scaling acceptance test uses.
+    pub fn uniform_read(num_keys: u64, ops_per_client: u64) -> Self {
+        WorkloadSpec {
+            num_keys,
+            read_pct: 100,
+            write_pct: 0,
+            window: 64,
+            ops_per_client,
+            seed: 0x6661_6272_6963, // "fabric"
+        }
+    }
+
+    /// A mixed workload: `read_pct` reads, `write_pct` writes, remainder CAS.
+    pub fn mixed(num_keys: u64, ops_per_client: u64, read_pct: u8, write_pct: u8) -> Self {
+        assert!(usize::from(read_pct) + usize::from(write_pct) <= 100);
+        WorkloadSpec {
+            read_pct,
+            write_pct,
+            ..Self::uniform_read(num_keys, ops_per_client)
+        }
+    }
+}
+
+/// One closed-loop client: op sampling + the sans-IO agent.
+pub struct ClientState {
+    id: u32,
+    agent: AgentCore,
+    rng: ChaCha8Rng,
+    spec: WorkloadSpec,
+    /// Logical clock fed to the agent (the fabric has no simulated time; the
+    /// agent only needs monotonicity for its bookkeeping).
+    clock: u64,
+    /// Monotonically increasing write payloads, so every write is distinct.
+    write_counter: u64,
+    report: ClientReport,
+}
+
+impl ClientState {
+    /// Creates client `id` issuing ops over `ring`'s chains.
+    pub fn new(id: u32, ring: &HashRing, spec: WorkloadSpec) -> Self {
+        let config = AgentConfig::new(Ipv4Addr::for_host(id));
+        let directory = ChainDirectory::new(ring.clone());
+        ClientState {
+            id,
+            agent: AgentCore::new(config, directory),
+            rng: ChaCha8Rng::seed_from_u64(spec.seed ^ (u64::from(id) << 32)),
+            spec,
+            clock: 0,
+            write_counter: 0,
+            report: ClientReport::default(),
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The counters accumulated so far (version regressions are read live
+    /// from the agent).
+    pub fn report(&self) -> ClientReport {
+        ClientReport {
+            version_regressions: self.agent.stats().version_regressions,
+            ..self.report
+        }
+    }
+
+    /// Queries currently outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.agent.outstanding()
+    }
+
+    /// True once the client has completed its share of the workload.
+    pub fn is_done(&self) -> bool {
+        self.report.completed >= self.spec.ops_per_client
+    }
+
+    /// True if another query may be issued right now (window open and work
+    /// remaining to issue).
+    pub fn can_issue(&self) -> bool {
+        self.agent.outstanding() < self.spec.window && self.report.issued < self.spec.ops_per_client
+    }
+
+    fn sample_op(&mut self) -> KvOp {
+        let key = Key::from_u64(self.rng.gen_range(0..self.spec.num_keys));
+        let dice: u8 = self.rng.gen_range(0..100u8);
+        if dice < self.spec.read_pct {
+            KvOp::Read(key)
+        } else if dice < self.spec.read_pct + self.spec.write_pct {
+            self.write_counter += 1;
+            KvOp::Write(key, Value::from_u64(self.write_counter))
+        } else {
+            // CAS expecting the initial value; contention makes some fail,
+            // which is the interesting (lock-like) behaviour.
+            KvOp::Cas {
+                key,
+                expected: 0,
+                new: u64::from(self.id) + 1,
+            }
+        }
+    }
+
+    /// Issues the next query, returning the packet to transmit.
+    pub fn issue(&mut self) -> NetChainPacket {
+        debug_assert!(self.can_issue());
+        self.issue_unbounded()
+    }
+
+    /// Issues a query ignoring the closed-loop window (capacity mode
+    /// pre-generates the whole op stream before any processing happens).
+    pub fn issue_unbounded(&mut self) -> NetChainPacket {
+        let op = self.sample_op();
+        self.clock += 1;
+        let (_, pkt) = self.agent.begin(SimTime(self.clock), op);
+        self.report.issued += 1;
+        pkt
+    }
+
+    /// Consumes one serialized reply frame; returns `true` if it matched an
+    /// outstanding query.
+    pub fn absorb_reply(&mut self, frame: &[u8]) -> bool {
+        let Ok(view) = PacketView::parse(frame) else {
+            return false;
+        };
+        let pkt = view.to_owned();
+        self.clock += 1;
+        match self.agent.on_reply(SimTime(self.clock), &pkt) {
+            Some(done) => {
+                self.report.completed += 1;
+                match done.status {
+                    Some(QueryStatus::Ok) => self.report.ok += 1,
+                    Some(QueryStatus::CasFailed) => self.report.cas_failed += 1,
+                    _ => {}
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> HashRing {
+        HashRing::new((0..4).map(Ipv4Addr::for_switch).collect(), 8, 3, 7)
+    }
+
+    #[test]
+    fn op_mix_roughly_matches_spec() {
+        let spec = WorkloadSpec::mixed(100, 1_000, 50, 30);
+        let mut client = ClientState::new(0, &ring(), spec);
+        let (mut reads, mut writes, mut cas) = (0u32, 0u32, 0u32);
+        for _ in 0..1_000 {
+            match client.sample_op() {
+                KvOp::Read(_) => reads += 1,
+                KvOp::Write(..) => writes += 1,
+                KvOp::Cas { .. } => cas += 1,
+                KvOp::Delete(_) => unreachable!("workloads never delete"),
+            }
+        }
+        assert!((400..600).contains(&reads), "reads: {reads}");
+        assert!((200..400).contains(&writes), "writes: {writes}");
+        assert!((100..300).contains(&cas), "cas: {cas}");
+    }
+
+    #[test]
+    fn window_limits_outstanding() {
+        let spec = WorkloadSpec {
+            window: 4,
+            ..WorkloadSpec::uniform_read(16, 100)
+        };
+        let mut client = ClientState::new(1, &ring(), spec);
+        let mut issued = Vec::new();
+        while client.can_issue() {
+            issued.push(client.issue());
+        }
+        assert_eq!(issued.len(), 4);
+        assert_eq!(client.outstanding(), 4);
+        assert!(!client.is_done());
+    }
+}

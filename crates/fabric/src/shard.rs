@@ -1,0 +1,334 @@
+//! A worker shard: the per-core unit of the fabric.
+//!
+//! The fabric partitions the keyspace by virtual group — the same unit the
+//! paper's consistent hashing and failure recovery use (§4.1, §5.2) — and
+//! steers every query to the shard owning its key's group. A shard therefore
+//! sees *all* hops of every chain it is responsible for, and runs the chain
+//! to completion locally: head, replicas and tail are the very same
+//! [`NetChainSwitch`] program instances the discrete-event simulator hosts,
+//! executed back to back instead of separated by simulated links. Because
+//! per-key state is touched by exactly one shard, shards share nothing and
+//! scale linearly with cores.
+//!
+//! Processing is batched in two layers: the shard pulls bursts of frames
+//! from its ingress rings, and inside a burst the chain traversal runs in
+//! *waves* — all packets currently addressed to the same switch are handed
+//! to [`NetChainSwitch::step_batch`] together, keeping that switch's tables
+//! hot while the burst flows through the chain stage by stage, like a
+//! hardware pipeline.
+
+use crate::stats::ShardStats;
+use netchain_core::HashRing;
+use netchain_switch::{NetChainSwitch, PipelineConfig, SwitchAction};
+use netchain_wire::{BatchEncoder, Ipv4Addr, Key, NetChainPacket, PacketView, Value};
+use std::collections::HashMap;
+
+/// The steering rule, in one place: `key`'s virtual group modulo the shard
+/// count. Everything that partitions by key — shard ownership, client
+/// steering, control-plane population — must route through this function so
+/// the three can never drift apart.
+pub fn shard_of_key(ring: &HashRing, key: &Key, num_shards: usize) -> usize {
+    ring.group_of(key) as usize % num_shards
+}
+
+/// Identifies the client a reply frame belongs to, from the destination IP
+/// (`Ipv4Addr::for_host(id)` addressing: `10.1.hi.lo`).
+pub fn client_id_of(ip: Ipv4Addr) -> Option<u32> {
+    if ip.0[0] == 10 && ip.0[1] == 1 {
+        Some(u32::from(ip.0[2]) << 8 | u32::from(ip.0[3]))
+    } else {
+        None
+    }
+}
+
+/// One keyspace shard hosting shard-local replicas of every ring switch.
+pub struct Shard {
+    id: usize,
+    num_shards: usize,
+    ring: HashRing,
+    switches: HashMap<Ipv4Addr, NetChainSwitch>,
+    stats: ShardStats,
+    /// Scratch: the current wave of in-flight packets (reused across bursts).
+    wave: Vec<NetChainPacket>,
+    next_wave: Vec<NetChainPacket>,
+    group: Vec<NetChainPacket>,
+    actions: Vec<SwitchAction>,
+}
+
+impl Shard {
+    /// Creates shard `id` of `num_shards` over the given ring, with one
+    /// switch instance per ring member.
+    pub fn new(id: usize, num_shards: usize, ring: HashRing, pipeline: PipelineConfig) -> Self {
+        assert!(num_shards > 0 && id < num_shards);
+        let switches = ring
+            .switches()
+            .iter()
+            .map(|&ip| (ip, NetChainSwitch::new(ip, pipeline)))
+            .collect();
+        Shard {
+            id,
+            num_shards,
+            ring,
+            switches,
+            stats: ShardStats::default(),
+            wave: Vec::new(),
+            next_wave: Vec::new(),
+            group: Vec::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// This shard's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// True if this shard owns `key`'s virtual group.
+    pub fn owns(&self, key: &Key) -> bool {
+        shard_of_key(&self.ring, key, self.num_shards) == self.id
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &ShardStats {
+        &self.stats
+    }
+
+    /// Inserts `key` on every switch of its chain (control-plane population,
+    /// the fabric equivalent of `NetChainCluster::populate_key`). Only keys
+    /// this shard [`owns`](Self::owns) may be inserted.
+    pub fn populate(&mut self, key: Key, value: &Value) {
+        assert!(self.owns(&key), "key steered to the wrong shard");
+        for ip in self.ring.chain_for_key(&key).switches {
+            self.switches
+                .get_mut(&ip)
+                .expect("chain switches exist in the shard")
+                .kv_mut()
+                .insert(key, value)
+                .expect("shard store sized for the workload");
+        }
+    }
+
+    /// Read access to a switch replica (differential tests, experiments).
+    pub fn switch(&self, ip: Ipv4Addr) -> Option<&NetChainSwitch> {
+        self.switches.get(&ip)
+    }
+
+    /// The switch IPs this shard hosts.
+    pub fn switch_ips(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.switches.keys().copied()
+    }
+
+    /// Processes one burst of ingress frames to completion, encoding every
+    /// generated reply into `replies` (in completion order).
+    ///
+    /// Each frame is parsed with the zero-copy [`PacketView`]; malformed
+    /// frames are counted and skipped. The owned conversion that follows is
+    /// the only per-packet allocation on this path, and for reads (empty
+    /// value, empty chain) it allocates nothing.
+    pub fn process_burst<'a>(
+        &mut self,
+        frames: impl Iterator<Item = &'a [u8]>,
+        replies: &mut BatchEncoder,
+    ) {
+        debug_assert!(self.wave.is_empty());
+        for bytes in frames {
+            self.stats.frames_in += 1;
+            match PacketView::parse(bytes) {
+                Ok(view) => self.wave.push(view.to_owned()),
+                Err(_) => self.stats.parse_errors += 1,
+            }
+        }
+        if self.wave.is_empty() {
+            return;
+        }
+        self.stats.bursts += 1;
+
+        // Run the burst to completion in waves: group packets addressed to
+        // the same switch and step them as one batch.
+        while !self.wave.is_empty() {
+            self.stats.waves += 1;
+            let mut wave = std::mem::take(&mut self.wave);
+            let mut iter = wave.drain(..).peekable();
+            while let Some(pkt) = iter.next() {
+                let dst = pkt.ip.dst;
+                self.group.push(pkt);
+                while iter.peek().is_some_and(|p| p.ip.dst == dst) {
+                    self.group
+                        .push(iter.next().expect("peek said there is one"));
+                }
+                match self.switches.get_mut(&dst) {
+                    Some(sw) => {
+                        self.actions.clear();
+                        sw.step_batch(self.group.drain(..), &mut self.actions);
+                        for action in self.actions.drain(..) {
+                            match action {
+                                SwitchAction::Forward(p) => {
+                                    if p.netchain.op.is_reply() {
+                                        self.stats.replies += 1;
+                                        replies.push(&p).expect("replies are bounded like queries");
+                                    } else {
+                                        self.next_wave.push(p);
+                                    }
+                                }
+                                SwitchAction::Drop(_) => self.stats.drops += 1,
+                            }
+                        }
+                    }
+                    None => {
+                        // Addressed to an IP this shard does not host (only
+                        // possible with failover rules, which the fabric
+                        // does not install yet).
+                        self.stats.unroutable += self.group.len() as u64;
+                        self.group.clear();
+                    }
+                }
+            }
+            drop(iter);
+            // Reuse the drained wave allocation for the next round.
+            std::mem::swap(&mut wave, &mut self.next_wave);
+            self.wave = wave;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netchain_wire::{OpCode, QueryStatus};
+
+    fn test_ring() -> HashRing {
+        HashRing::new((0..4).map(Ipv4Addr::for_switch).collect(), 8, 3, 7)
+    }
+
+    fn query_frame(
+        ring: &HashRing,
+        key: Key,
+        op: OpCode,
+        value: Value,
+        request_id: u64,
+    ) -> Vec<u8> {
+        let chain = ring.chain_for_key(&key);
+        let pkt = if op == OpCode::Read {
+            NetChainPacket::query(
+                Ipv4Addr::for_host(0),
+                40_000,
+                chain.tail(),
+                op,
+                key,
+                value,
+                netchain_wire::ChainList::empty(),
+                request_id,
+            )
+        } else {
+            NetChainPacket::query(
+                Ipv4Addr::for_host(0),
+                40_000,
+                chain.head(),
+                op,
+                key,
+                value,
+                netchain_wire::ChainList::new(chain.switches[1..].to_vec()).unwrap(),
+                request_id,
+            )
+        };
+        pkt.to_bytes()
+    }
+
+    #[test]
+    fn write_then_read_through_one_shard() {
+        let ring = test_ring();
+        let mut shard = Shard::new(0, 1, ring.clone(), PipelineConfig::tiny(64));
+        let key = Key::from_name("shard/key");
+        shard.populate(key, &Value::from_u64(0));
+
+        // Separate bursts: within one burst a read overlaps the write's
+        // chain traversal (legal for concurrent ops); sequential bursts give
+        // the deterministic read-your-write this test asserts.
+        let mut replies = BatchEncoder::new();
+        let write = query_frame(&ring, key, OpCode::Write, Value::from_u64(42), 1);
+        shard.process_burst(std::iter::once(write.as_slice()), &mut replies);
+        assert_eq!(replies.len(), 1);
+        let write_reply = PacketView::parse(replies.frame(0)).unwrap();
+        assert_eq!(write_reply.netchain.op(), OpCode::WriteReply);
+        assert_eq!(write_reply.netchain.status(), QueryStatus::Ok);
+        assert_eq!(write_reply.netchain.request_id(), 1);
+
+        replies.clear();
+        let read = query_frame(&ring, key, OpCode::Read, Value::empty(), 2);
+        shard.process_burst(std::iter::once(read.as_slice()), &mut replies);
+        assert_eq!(replies.len(), 1);
+        let read_reply = PacketView::parse(replies.frame(0)).unwrap();
+        assert_eq!(read_reply.netchain.op(), OpCode::ReadReply);
+        assert_eq!(read_reply.netchain.value(), 42u64.to_be_bytes());
+        assert_eq!(client_id_of(read_reply.ip.dst), Some(0));
+
+        // Every chain replica applied the write.
+        for ip in ring.chain_for_key(&key).switches {
+            let sw = shard.switch(ip).unwrap();
+            let slot = sw.kv().lookup(&key).unwrap();
+            assert_eq!(sw.kv().read_value(slot).as_u64(), Some(42));
+        }
+        assert_eq!(shard.stats().replies, 2);
+        assert_eq!(shard.stats().drops, 0);
+        assert_eq!(shard.stats().unroutable, 0);
+        // The write traversed a 3-switch chain: one wave per hop, plus one
+        // wave for the read burst.
+        assert_eq!(shard.stats().waves, 4);
+    }
+
+    #[test]
+    fn burst_of_writes_keeps_per_key_order() {
+        let ring = test_ring();
+        let mut shard = Shard::new(0, 1, ring.clone(), PipelineConfig::tiny(64));
+        let key = Key::from_name("ordered");
+        shard.populate(key, &Value::from_u64(0));
+        let frames: Vec<Vec<u8>> = (0..32)
+            .map(|i| query_frame(&ring, key, OpCode::Write, Value::from_u64(i), i))
+            .collect();
+        let mut replies = BatchEncoder::new();
+        shard.process_burst(frames.iter().map(|f| f.as_slice()), &mut replies);
+        assert_eq!(replies.len(), 32);
+        // Write replies come back in issue order, echoing their own value.
+        for (i, frame) in replies.frames().enumerate() {
+            let reply = PacketView::parse(frame).unwrap();
+            assert_eq!(reply.netchain.op(), OpCode::WriteReply);
+            assert_eq!(reply.netchain.request_id(), i as u64);
+            assert_eq!(reply.netchain.value(), (i as u64).to_be_bytes());
+        }
+        // A following read observes the last write of the burst.
+        replies.clear();
+        let read = query_frame(&ring, key, OpCode::Read, Value::empty(), 99);
+        shard.process_burst(std::iter::once(read.as_slice()), &mut replies);
+        let read_reply = PacketView::parse(replies.frame(0)).unwrap();
+        assert_eq!(read_reply.netchain.value(), 31u64.to_be_bytes());
+        // Chain tail holds seq == 32 (one per write).
+        let tail = ring.chain_for_key(&key).tail();
+        let sw = shard.switch(tail).unwrap();
+        let slot = sw.kv().lookup(&key).unwrap();
+        assert_eq!(sw.kv().seq(slot), 32);
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_not_fatal() {
+        let ring = test_ring();
+        let mut shard = Shard::new(0, 1, ring, PipelineConfig::tiny(16));
+        let mut replies = BatchEncoder::new();
+        let garbage = [0u8; 40];
+        shard.process_burst(std::iter::once(&garbage[..]), &mut replies);
+        assert_eq!(shard.stats().parse_errors, 1);
+        assert!(replies.is_empty());
+    }
+
+    #[test]
+    fn ownership_partitions_groups() {
+        let ring = test_ring();
+        let shards: Vec<Shard> = (0..3)
+            .map(|i| Shard::new(i, 3, ring.clone(), PipelineConfig::tiny(16)))
+            .collect();
+        for k in 0..200u64 {
+            let key = Key::from_u64(k);
+            let owners = shards.iter().filter(|s| s.owns(&key)).count();
+            assert_eq!(owners, 1, "key {k} must have exactly one owner");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Counters and reports for fabric runs.
+
+use std::time::Duration;
+
+/// Per-shard dataplane counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Frames pulled from ingress rings.
+    pub frames_in: u64,
+    /// Frames that failed wire parsing.
+    pub parse_errors: u64,
+    /// Bursts processed (ring pulls that yielded at least one frame).
+    pub bursts: u64,
+    /// Chain waves executed across all bursts.
+    pub waves: u64,
+    /// Replies generated and encoded.
+    pub replies: u64,
+    /// Packets dropped by the switch program.
+    pub drops: u64,
+    /// Packets addressed to a switch this shard does not host.
+    pub unroutable: u64,
+}
+
+/// Per-client load-generator counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientReport {
+    /// Queries issued.
+    pub issued: u64,
+    /// Replies matched to an outstanding query.
+    pub completed: u64,
+    /// Replies with `Ok` status.
+    pub ok: u64,
+    /// Replies with `CasFailed` status (expected under CAS contention).
+    pub cas_failed: u64,
+    /// Replies whose version regressed (must stay zero — the fabric is
+    /// strongly consistent per key).
+    pub version_regressions: u64,
+}
+
+/// The result of a threaded (live) fabric run.
+#[derive(Debug, Clone, Default)]
+pub struct FabricReport {
+    /// Wall-clock duration of the run (clients started → last client done).
+    pub elapsed: Duration,
+    /// Total operations completed across all clients.
+    pub completed_ops: u64,
+    /// Aggregate completed operations per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Per-shard dataplane counters.
+    pub shards: Vec<ShardStats>,
+    /// Per-client counters.
+    pub clients: Vec<ClientReport>,
+}
+
+/// The result of a capacity (sequential-makespan) measurement: each shard's
+/// partition is processed run-to-completion on the measuring core, and the
+/// aggregate is computed for the deployment model of one pinned core per
+/// shard (throughput = total ops / slowest shard's busy time). This is how
+/// the paper itself evaluates scalability beyond its 4-switch testbed (§8.3)
+/// and is the honest way to measure scaling on a machine with fewer cores
+/// than shards.
+#[derive(Debug, Clone, Default)]
+pub struct CapacityReport {
+    /// Ops processed by each shard.
+    pub shard_ops: Vec<u64>,
+    /// Busy (processing-only) time of each shard.
+    pub shard_busy: Vec<Duration>,
+    /// Total ops across shards.
+    pub total_ops: u64,
+    /// Replies observed (should equal total ops in a loss-free fabric).
+    pub replies: u64,
+    /// `total_ops / max(shard_busy)`: aggregate throughput assuming one core
+    /// per shard.
+    pub aggregate_ops_per_sec: f64,
+    /// `shard_ops[i] / shard_busy[i]` for each shard.
+    pub per_shard_ops_per_sec: Vec<f64>,
+}

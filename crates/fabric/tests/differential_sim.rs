@@ -1,0 +1,175 @@
+//! Differential test: the fabric and the discrete-event simulator run the
+//! *same* switch program (`netchain_switch::NetChainSwitch`), so the same
+//! scripted op sequence must produce identical reply statuses/values and
+//! identical per-switch KV state in both. This pins the fabric's semantics to
+//! the simulator's: any divergence — in chain routing, per-op behaviour, or
+//! stored sequence numbers — fails the test.
+
+use netchain_core::{AgentCore, ClusterConfig, KvOp, NetChainCluster};
+use netchain_fabric::{shard_of_key, Shard};
+use netchain_sim::{SimDuration, SimTime};
+use netchain_switch::{ExportedEntry, PipelineConfig};
+use netchain_wire::{BatchEncoder, Ipv4Addr, Key, PacketView, Value};
+
+/// The scripted sequence both executions run: writes, reads (hits and
+/// misses), contended CAS (success then failure), deletes, and a
+/// read-after-delete, spread over enough keys to cross several chains.
+fn script() -> Vec<KvOp> {
+    let keys: Vec<Key> = (0..8)
+        .map(|i| Key::from_name(&format!("diff/key{i}")))
+        .collect();
+    let lock = Key::from_name("diff/lock");
+    let ghost = Key::from_name("diff/never-populated");
+    let mut ops = Vec::new();
+    for (i, &k) in keys.iter().enumerate() {
+        ops.push(KvOp::Write(k, Value::from_u64(100 + i as u64)));
+    }
+    for &k in &keys {
+        ops.push(KvOp::Read(k));
+    }
+    // Overwrites, then re-reads.
+    for (i, &k) in keys.iter().enumerate().take(4) {
+        ops.push(KvOp::Write(k, Value::from_u64(200 + i as u64)));
+        ops.push(KvOp::Read(k));
+    }
+    // CAS: first one wins, second sees the changed value and fails.
+    ops.push(KvOp::Cas {
+        key: lock,
+        expected: 0,
+        new: 11,
+    });
+    ops.push(KvOp::Cas {
+        key: lock,
+        expected: 0,
+        new: 22,
+    });
+    ops.push(KvOp::Cas {
+        key: lock,
+        expected: 11,
+        new: 33,
+    });
+    ops.push(KvOp::Read(lock));
+    // Miss: a key nobody populated.
+    ops.push(KvOp::Read(ghost));
+    // Delete, then observe the tombstone.
+    ops.push(KvOp::Delete(keys[7]));
+    ops.push(KvOp::Read(keys[7]));
+    ops
+}
+
+/// Keys the control plane pre-populates (everything the script touches except
+/// the deliberate miss).
+fn populated_keys() -> Vec<Key> {
+    let mut keys: Vec<Key> = (0..8)
+        .map(|i| Key::from_name(&format!("diff/key{i}")))
+        .collect();
+    keys.push(Key::from_name("diff/lock"));
+    keys
+}
+
+/// Sorted, comparable snapshot of one switch's live KV state.
+fn kv_snapshot(entries: impl IntoIterator<Item = ExportedEntry>) -> Vec<ExportedEntry> {
+    let mut v: Vec<ExportedEntry> = entries.into_iter().collect();
+    v.sort_by_key(|a| a.key);
+    v
+}
+
+#[test]
+fn fabric_matches_simulator_on_scripted_ops() {
+    // Both executions share geometry: the testbed ring (4 switches) and a
+    // small identical pipeline, so slot-level state is comparable.
+    let pipeline = PipelineConfig::tiny(256);
+    let config = ClusterConfig {
+        pipeline,
+        ..ClusterConfig::default()
+    };
+
+    // ---- Simulator execution ----
+    let mut cluster = NetChainCluster::testbed(config);
+    for key in populated_keys() {
+        cluster.populate_key(key, &Value::from_u64(0));
+    }
+    cluster.install_scripted_client(0, script());
+    cluster.sim.run_for(SimDuration::from_millis(500));
+    let sim_client = cluster.scripted_client(0).expect("host 0 has the script");
+    assert!(sim_client.is_done(), "simulated script did not finish");
+    assert_eq!(sim_client.agent_stats().version_regressions, 0);
+    let sim_results = sim_client.results();
+
+    // ---- Fabric execution ----
+    // Two shards (exactly the multi-core partitioning) over the *same* ring;
+    // each op is steered to the shard owning the key's virtual group.
+    let ring = cluster.ring().clone();
+    let num_shards = 2;
+    let mut shards: Vec<Shard> = (0..num_shards)
+        .map(|i| Shard::new(i, num_shards, ring.clone(), pipeline))
+        .collect();
+    let shard_of = |key: &Key| shard_of_key(&ring, key, num_shards);
+    for key in populated_keys() {
+        shards[shard_of(&key)].populate(key, &Value::from_u64(0));
+    }
+
+    // Same client logic: an AgentCore configured exactly like the simulated
+    // host 0, driven closed-loop one op at a time (a scripted client is
+    // sequential by definition).
+    let mut agent = AgentCore::new(cluster.agent_config(0), cluster.directory());
+    let mut replies = BatchEncoder::new();
+    let mut clock = 0u64;
+    let mut fabric_results = Vec::new();
+    for op in script() {
+        clock += 1;
+        let key = match &op {
+            KvOp::Read(k) | KvOp::Write(k, _) | KvOp::Delete(k) => *k,
+            KvOp::Cas { key, .. } => *key,
+        };
+        let (_, pkt) = agent.begin(SimTime(clock), op);
+        let frame = pkt.to_bytes();
+        replies.clear();
+        shards[shard_of(&key)].process_burst(std::iter::once(frame.as_slice()), &mut replies);
+        assert_eq!(
+            replies.len(),
+            1,
+            "each scripted op yields exactly one reply"
+        );
+        let reply = PacketView::parse(replies.frame(0))
+            .expect("fabric replies parse")
+            .to_owned();
+        clock += 1;
+        let done = agent
+            .on_reply(SimTime(clock), &reply)
+            .expect("reply matches the outstanding op");
+        fabric_results.push(done);
+    }
+    assert_eq!(agent.stats().version_regressions, 0);
+
+    // ---- Reply-level comparison ----
+    assert_eq!(sim_results.len(), fabric_results.len());
+    for (i, (sim, fab)) in sim_results.iter().zip(&fabric_results).enumerate() {
+        assert_eq!(sim.op, fab.op, "op {i}: scripts diverged");
+        assert_eq!(sim.request_id, fab.request_id, "op {i}: request id");
+        assert_eq!(sim.status, fab.status, "op {i} ({:?}): status", sim.op);
+        assert_eq!(sim.value, fab.value, "op {i} ({:?}): value", sim.op);
+        assert_eq!(sim.seq, fab.seq, "op {i} ({:?}): version", sim.op);
+    }
+
+    // ---- KV-state comparison ----
+    // A fabric switch's state is the union over shards (shards partition the
+    // keyspace, so the union is disjoint); it must equal the simulated
+    // switch's state entry for entry — including tombstones, since neither
+    // side garbage-collects without a controller telling it to.
+    let switch_ips: Vec<Ipv4Addr> = ring.switches().to_vec();
+    for (idx, &ip) in switch_ips.iter().enumerate() {
+        assert_eq!(ip, Ipv4Addr::for_switch(idx as u32));
+        let sim_state = kv_snapshot(cluster.switch(idx).switch().kv().export_entries());
+        let fabric_state = kv_snapshot(shards.iter().flat_map(|s| {
+            s.switch(ip)
+                .expect("every shard hosts every ring switch")
+                .kv()
+                .export_entries()
+        }));
+        assert_eq!(
+            sim_state, fabric_state,
+            "switch {idx} diverged between simulator and fabric"
+        );
+    }
+}

@@ -140,7 +140,9 @@ mod tests {
                 assert!(!truncated, "tiny model should be exhausted");
                 assert!(states_explored > 10);
             }
-            CheckOutcome::Violation { invariant, trace, .. } => {
+            CheckOutcome::Violation {
+                invariant, trace, ..
+            } => {
                 panic!("unexpected violation of {invariant}: {trace:?}")
             }
         }
@@ -162,10 +164,7 @@ mod tests {
             max_states: 150_000,
         };
         let outcome = Checker::new(config).run();
-        assert!(
-            outcome.is_verified(),
-            "invariants must hold: {outcome:?}"
-        );
+        assert!(outcome.is_verified(), "invariants must hold: {outcome:?}");
     }
 
     #[test]
@@ -202,6 +201,9 @@ mod tests {
                 seen_violation = true;
             }
         }
-        assert!(seen_violation, "the rigged scenario must violate Consistency");
+        assert!(
+            seen_violation,
+            "the rigged scenario must violate Consistency"
+        );
     }
 }

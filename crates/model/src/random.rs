@@ -114,8 +114,14 @@ mod tests {
 
     #[test]
     fn walks_are_deterministic_per_seed() {
-        let a = random_walk(RandomWalkConfig { seed: 7, ..Default::default() });
-        let b = random_walk(RandomWalkConfig { seed: 7, ..Default::default() });
+        let a = random_walk(RandomWalkConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        let b = random_walk(RandomWalkConfig {
+            seed: 7,
+            ..Default::default()
+        });
         assert_eq!(a.steps_taken, b.steps_taken);
         assert_eq!(a.final_state, b.final_state);
     }

@@ -301,7 +301,8 @@ impl ModelState {
         let mut actions = Vec::new();
         let chain = Self::chain(config);
         let tail = *chain.last().expect("chains are non-empty");
-        let client_can_queue = |to: NodeRef| self.channel(NodeRef::Client, to).len() < config.max_queue;
+        let client_can_queue =
+            |to: NodeRef| self.channel(NodeRef::Client, to).len() < config.max_queue;
         // Bounding the client inbox keeps the explored state space finite:
         // the client stops issuing queries while it has unconsumed replies
         // beyond the queue bound (the TLA+ spec achieves the same effect with
@@ -386,7 +387,11 @@ impl ModelState {
         match action {
             Action::ClientSendRead { key } => {
                 let hops: Vec<usize> = chain.iter().rev().skip(1).copied().collect();
-                next.push(NodeRef::Client, NodeRef::Switch(tail), Msg::Read { key: *key, hops });
+                next.push(
+                    NodeRef::Client,
+                    NodeRef::Switch(tail),
+                    Msg::Read { key: *key, hops },
+                );
             }
             Action::ClientSendWrite { key, val } => {
                 next.writes_issued += 1;
@@ -523,7 +528,11 @@ impl ModelState {
                     ver,
                     hops,
                 } => {
-                    let assigned = if ver == 0 { self.mem[s][key].1 + 1 } else { ver };
+                    let assigned = if ver == 0 {
+                        self.mem[s][key].1 + 1
+                    } else {
+                        ver
+                    };
                     if assigned > self.mem[s][key].1 {
                         self.mem[s][key] = (val, assigned);
                         if let Some((&next_hop, rest)) = hops.split_first() {
@@ -589,7 +598,12 @@ impl ModelState {
                                 self.push(
                                     NodeRef::Switch(s),
                                     NodeRef::Switch(next_sw),
-                                    Msg::Write { key, val, ver, hops },
+                                    Msg::Write {
+                                        key,
+                                        val,
+                                        ver,
+                                        hops,
+                                    },
                                 );
                             }
                             NodeRef::Client => {}
@@ -625,10 +639,28 @@ mod tests {
         let mut s = ModelState::initial(&c);
         s = s.apply(&c, &Action::ClientSendWrite { key: 0, val: 1 });
         // Head processes, forwards to 1, then 2, which replies.
-        s = s.apply(&c, &Action::SwitchProcess { switch: 0, from: NodeRef::Client });
+        s = s.apply(
+            &c,
+            &Action::SwitchProcess {
+                switch: 0,
+                from: NodeRef::Client,
+            },
+        );
         assert_eq!(s.mem[0][0], (1, 1));
-        s = s.apply(&c, &Action::SwitchProcess { switch: 1, from: NodeRef::Switch(0) });
-        s = s.apply(&c, &Action::SwitchProcess { switch: 2, from: NodeRef::Switch(1) });
+        s = s.apply(
+            &c,
+            &Action::SwitchProcess {
+                switch: 1,
+                from: NodeRef::Switch(0),
+            },
+        );
+        s = s.apply(
+            &c,
+            &Action::SwitchProcess {
+                switch: 2,
+                from: NodeRef::Switch(1),
+            },
+        );
         assert_eq!(s.mem[2][0], (1, 1));
         assert!(s.update_propagation_holds(&c));
         s = s.apply(&c, &Action::ClientRecv);
@@ -643,14 +675,47 @@ mod tests {
         // Two writes race; the second overtakes the first at switch 1.
         s = s.apply(&c, &Action::ClientSendWrite { key: 0, val: 1 });
         s = s.apply(&c, &Action::ClientSendWrite { key: 0, val: 2 });
-        s = s.apply(&c, &Action::SwitchProcess { switch: 0, from: NodeRef::Client });
-        s = s.apply(&c, &Action::SwitchProcess { switch: 0, from: NodeRef::Client });
+        s = s.apply(
+            &c,
+            &Action::SwitchProcess {
+                switch: 0,
+                from: NodeRef::Client,
+            },
+        );
+        s = s.apply(
+            &c,
+            &Action::SwitchProcess {
+                switch: 0,
+                from: NodeRef::Client,
+            },
+        );
         // Reorder the channel 0 -> 1 so version 2 arrives first.
-        s = s.apply(&c, &Action::ChannelReorder { from: NodeRef::Switch(0), to: NodeRef::Switch(1) });
-        s = s.apply(&c, &Action::SwitchProcess { switch: 1, from: NodeRef::Switch(0) });
+        s = s.apply(
+            &c,
+            &Action::ChannelReorder {
+                from: NodeRef::Switch(0),
+                to: NodeRef::Switch(1),
+            },
+        );
+        s = s.apply(
+            &c,
+            &Action::SwitchProcess {
+                switch: 1,
+                from: NodeRef::Switch(0),
+            },
+        );
         assert_eq!(s.mem[1][0].1, 2, "newer version applied first");
-        s = s.apply(&c, &Action::SwitchProcess { switch: 1, from: NodeRef::Switch(0) });
-        assert_eq!(s.mem[1][0].1, 2, "stale version must not regress the replica");
+        s = s.apply(
+            &c,
+            &Action::SwitchProcess {
+                switch: 1,
+                from: NodeRef::Switch(0),
+            },
+        );
+        assert_eq!(
+            s.mem[1][0].1, 2,
+            "stale version must not regress the replica"
+        );
         assert!(s.update_propagation_holds(&c));
     }
 
@@ -659,13 +724,37 @@ mod tests {
         let c = config();
         let mut s = ModelState::initial(&c);
         s = s.apply(&c, &Action::ClientSendWrite { key: 0, val: 2 });
-        s = s.apply(&c, &Action::SwitchProcess { switch: 0, from: NodeRef::Client });
-        s = s.apply(&c, &Action::SwitchProcess { switch: 1, from: NodeRef::Switch(0) });
-        s = s.apply(&c, &Action::SwitchProcess { switch: 2, from: NodeRef::Switch(1) });
+        s = s.apply(
+            &c,
+            &Action::SwitchProcess {
+                switch: 0,
+                from: NodeRef::Client,
+            },
+        );
+        s = s.apply(
+            &c,
+            &Action::SwitchProcess {
+                switch: 1,
+                from: NodeRef::Switch(0),
+            },
+        );
+        s = s.apply(
+            &c,
+            &Action::SwitchProcess {
+                switch: 2,
+                from: NodeRef::Switch(1),
+            },
+        );
         s = s.apply(&c, &Action::SwitchFail { switch: 1 });
         assert_eq!(s.status[1], SwitchStatus::Failed);
         assert!(s.update_propagation_holds(&c));
-        s = s.apply(&c, &Action::SwitchRecover { switch: 1, spare: 3 });
+        s = s.apply(
+            &c,
+            &Action::SwitchRecover {
+                switch: 1,
+                spare: 3,
+            },
+        );
         assert_eq!(s.status[1], SwitchStatus::Recovered);
         // The spare copied its memory from the chain successor (switch 2).
         assert_eq!(s.mem[3][0], s.mem[2][0]);

@@ -69,7 +69,11 @@ impl Deployment {
         let mut switches = Vec::with_capacity(config.switches);
         for (ip, socket) in switch_ips.iter().zip(sockets) {
             let data_plane = NetChainSwitch::new(*ip, config.pipeline);
-            switches.push(SwitchHandle::spawn(data_plane, socket, Arc::clone(&routes))?);
+            switches.push(SwitchHandle::spawn(
+                data_plane,
+                socket,
+                Arc::clone(&routes),
+            )?);
         }
         let ring = HashRing::new(
             switch_ips,
@@ -116,9 +120,7 @@ impl Deployment {
         let client_ip = Ipv4Addr::for_host(self.next_client);
         self.next_client += 1;
         // Register the client so tail switches can route replies back to it.
-        self.routes
-            .write()
-            .insert(client_ip, socket.local_addr()?);
+        self.routes.write().insert(client_ip, socket.local_addr()?);
         let config = AgentConfig::new(client_ip)
             .with_timeout(SimDuration::from_millis(50))
             .with_max_retries(5);
@@ -153,7 +155,7 @@ impl LoopbackClient {
                 format!("no socket registered for {}", pkt.ip.dst),
             ));
         };
-        self.socket.send_to(&pkt.to_bytes(), &dest)?;
+        self.socket.send_to(&pkt.to_bytes(), dest)?;
         Ok(())
     }
 
@@ -212,10 +214,7 @@ impl LoopbackClient {
 
     /// Convenience: compare-and-swap.
     pub fn cas(&mut self, key: Key, expected: u64, new: u64) -> std::io::Result<CompletedQuery> {
-        self.execute(
-            KvOp::Cas { key, expected, new },
-            Duration::from_secs(2),
-        )
+        self.execute(KvOp::Cas { key, expected, new }, Duration::from_secs(2))
     }
 
     /// Agent statistics (retries, latency, version regressions).
@@ -263,9 +262,8 @@ mod tests {
         // The write reply comes from the tail, so by chain replication every
         // replica already applied it.
         for handle in deployment.switches() {
-            let stored = handle.with_switch(|sw| {
-                sw.kv().lookup(&key).map(|slot| sw.kv().read_value(slot))
-            });
+            let stored =
+                handle.with_switch(|sw| sw.kv().lookup(&key).map(|slot| sw.kv().read_value(slot)));
             if let Some(value) = stored {
                 assert_eq!(value.as_u64(), Some(5));
             }

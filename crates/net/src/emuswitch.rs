@@ -67,7 +67,7 @@ impl SwitchHandle {
                     if let SwitchAction::Forward(out) = action {
                         let dest = routes.read().get(&out.ip.dst).copied();
                         if let Some(dest) = dest {
-                            let _ = socket.send_to(&out.to_bytes(), &dest);
+                            let _ = socket.send_to(&out.to_bytes(), dest);
                         }
                     }
                 }

@@ -143,9 +143,27 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q: EventQueue<Tag> = EventQueue::new();
-        q.push(SimTime(30), Event::Timer { node: NodeId(0), token: 3 });
-        q.push(SimTime(10), Event::Timer { node: NodeId(0), token: 1 });
-        q.push(SimTime(20), Event::Timer { node: NodeId(0), token: 2 });
+        q.push(
+            SimTime(30),
+            Event::Timer {
+                node: NodeId(0),
+                token: 3,
+            },
+        );
+        q.push(
+            SimTime(10),
+            Event::Timer {
+                node: NodeId(0),
+                token: 1,
+            },
+        );
+        q.push(
+            SimTime(20),
+            Event::Timer {
+                node: NodeId(0),
+                token: 2,
+            },
+        );
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
                 Event::Timer { token, .. } => token,
@@ -159,7 +177,13 @@ mod tests {
     fn ties_resolve_by_insertion_order() {
         let mut q: EventQueue<Tag> = EventQueue::new();
         for token in 0..100 {
-            q.push(SimTime(5), Event::Timer { node: NodeId(1), token });
+            q.push(
+                SimTime(5),
+                Event::Timer {
+                    node: NodeId(1),
+                    token,
+                },
+            );
         }
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {

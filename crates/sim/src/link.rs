@@ -189,7 +189,10 @@ mod tests {
         let p = LinkParams::datacenter_40g();
         // 1500 bytes at 40 Gbps = 12000 bits / 40e9 bps = 300 ns.
         assert_eq!(p.serialization_delay(1500), SimDuration::from_nanos(300));
-        assert_eq!(LinkParams::ideal().serialization_delay(1500), SimDuration::ZERO);
+        assert_eq!(
+            LinkParams::ideal().serialization_delay(1500),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -150,12 +150,18 @@ impl LatencyStats {
 
     /// Smallest sample.
     pub fn min(&self) -> Option<SimDuration> {
-        self.samples_ns.iter().min().map(|&v| SimDuration::from_nanos(v))
+        self.samples_ns
+            .iter()
+            .min()
+            .map(|&v| SimDuration::from_nanos(v))
     }
 
     /// Largest sample.
     pub fn max(&self) -> Option<SimDuration> {
-        self.samples_ns.iter().max().map(|&v| SimDuration::from_nanos(v))
+        self.samples_ns
+            .iter()
+            .max()
+            .map(|&v| SimDuration::from_nanos(v))
     }
 }
 

@@ -142,9 +142,7 @@ impl<M: Message> Simulator<M> {
 
     /// Per-direction link statistics, if the nodes are adjacent.
     pub fn link_stats(&self, from: NodeId, to: NodeId) -> Option<LinkStats> {
-        self.links
-            .get(&(from.index(), to.index()))
-            .map(|l| l.stats)
+        self.links.get(&(from.index(), to.index())).map(|l| l.stats)
     }
 
     /// Borrow a node's behaviour (panics if the slot was never installed).
@@ -465,10 +463,7 @@ mod tests {
             sim.install_node(a, Box::new(Bouncer::new(vec![c; 50])));
             sim.install_node(c, Box::new(Bouncer::new(vec![])));
             sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
-            (
-                sim.stats().messages_delivered,
-                sim.stats().messages_dropped,
-            )
+            (sim.stats().messages_delivered, sim.stats().messages_dropped)
         };
         assert_eq!(run(42), run(42));
         // With 30 % loss and 300 transmissions, two different seeds producing
@@ -537,7 +532,11 @@ mod tests {
         struct ControlSender;
         impl Node<Ping> for ControlSender {
             fn on_start(&mut self, ctx: &mut Context<Ping>) {
-                ctx.send_control(NodeId(1), Ping { hop_budget: 0 }, SimDuration::from_millis(5));
+                ctx.send_control(
+                    NodeId(1),
+                    Ping { hop_budget: 0 },
+                    SimDuration::from_millis(5),
+                );
             }
             fn on_message(&mut self, _: NodeId, _: Ping, _: &mut Context<Ping>) {}
             fn as_any(&self) -> &dyn Any {

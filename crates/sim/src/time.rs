@@ -190,7 +190,7 @@ mod tests {
 
     #[test]
     fn float_conversions() {
-        let d = SimDuration::from_micros(9_700) ; // 9.7 ms
+        let d = SimDuration::from_micros(9_700); // 9.7 ms
         assert!((d.as_secs_f64() - 0.0097).abs() < 1e-12);
         assert!((d.as_micros_f64() - 9700.0).abs() < 1e-9);
     }

@@ -76,7 +76,10 @@ impl TopologyBuilder {
         let mut adjacency = vec![Vec::new(); n];
         let mut links = BTreeMap::new();
         for (a, b, params) in self.links {
-            assert!(a.index() < n && b.index() < n, "link references unknown node");
+            assert!(
+                a.index() < n && b.index() < n,
+                "link references unknown node"
+            );
             let fwd = (a.index(), b.index());
             let rev = (b.index(), a.index());
             assert!(
@@ -115,7 +118,11 @@ pub struct SpineLeafLayout {
 impl SpineLeafLayout {
     /// All switches (spines then leaves).
     pub fn switches(&self) -> Vec<NodeId> {
-        self.spines.iter().chain(self.leaves.iter()).copied().collect()
+        self.spines
+            .iter()
+            .chain(self.leaves.iter())
+            .copied()
+            .collect()
     }
 
     /// All hosts in rack order.

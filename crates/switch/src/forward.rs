@@ -100,7 +100,7 @@ impl ForwardingTable {
         } else {
             slot.push(rule);
         }
-        slot.sort_by(|a, b| b.priority.cmp(&a.priority));
+        slot.sort_by_key(|r| std::cmp::Reverse(r.priority));
     }
 
     /// Convenience: installs the fast-failover rule (priority 1, all keys).
@@ -161,9 +161,10 @@ mod tests {
     use super::*;
 
     fn key_in_group(group: u32, modulus: u32) -> Key {
-        (0..).map(Key::from_u64).find(|k| {
-            (k.stable_hash() % u64::from(modulus)) as u32 == group
-        }).expect("some key falls in every group")
+        (0..)
+            .map(Key::from_u64)
+            .find(|k| (k.stable_hash() % u64::from(modulus)) as u32 == group)
+            .expect("some key falls in every group")
     }
 
     #[test]
@@ -171,9 +172,21 @@ mod tests {
         let k = Key::from_name("foo");
         assert!(RuleScope::All.matches(&k));
         let g = (k.stable_hash() % 10) as u32;
-        assert!(RuleScope::Group { group: g, modulus: 10 }.matches(&k));
-        assert!(!RuleScope::Group { group: (g + 1) % 10, modulus: 10 }.matches(&k));
-        assert!(!RuleScope::Group { group: 0, modulus: 0 }.matches(&k));
+        assert!(RuleScope::Group {
+            group: g,
+            modulus: 10
+        }
+        .matches(&k));
+        assert!(!RuleScope::Group {
+            group: (g + 1) % 10,
+            modulus: 10
+        }
+        .matches(&k));
+        assert!(!RuleScope::Group {
+            group: 0,
+            modulus: 0
+        }
+        .matches(&k));
     }
 
     #[test]
@@ -185,7 +198,10 @@ mod tests {
         assert_eq!(t.action_for(failed, &key), None);
 
         t.install_chain_failover(failed);
-        assert_eq!(t.action_for(failed, &key), Some(FailoverAction::ChainFailover));
+        assert_eq!(
+            t.action_for(failed, &key),
+            Some(FailoverAction::ChainFailover)
+        );
         assert_eq!(t.len(), 1);
 
         assert_eq!(t.remove(failed, 1, RuleScope::All), 1);
@@ -224,7 +240,10 @@ mod tests {
         // Dropping the high-priority rules falls back to fast failover.
         t.remove(failed, 3, RuleScope::All);
         t.remove(failed, 2, RuleScope::All);
-        assert_eq!(t.action_for(failed, &key), Some(FailoverAction::ChainFailover));
+        assert_eq!(
+            t.action_for(failed, &key),
+            Some(FailoverAction::ChainFailover)
+        );
     }
 
     #[test]
@@ -238,11 +257,17 @@ mod tests {
             failed,
             FailoverRule {
                 priority: 2,
-                scope: RuleScope::Group { group: 3, modulus: 100 },
+                scope: RuleScope::Group {
+                    group: 3,
+                    modulus: 100,
+                },
                 action: FailoverAction::Block,
             },
         );
-        assert_eq!(t.action_for(failed, &blocked_key), Some(FailoverAction::Block));
+        assert_eq!(
+            t.action_for(failed, &blocked_key),
+            Some(FailoverAction::Block)
+        );
         assert_eq!(
             t.action_for(failed, &other_key),
             Some(FailoverAction::ChainFailover)

@@ -297,11 +297,16 @@ mod tests {
     fn insert_read_write_roundtrip() {
         let mut kv = store();
         let key = Key::from_name("foo");
-        let slot = kv.insert(key, &Value::new(b"hello".to_vec()).unwrap()).unwrap();
+        let slot = kv
+            .insert(key, &Value::new(b"hello".to_vec()).unwrap())
+            .unwrap();
         assert_eq!(kv.lookup(&key), Some(slot));
         assert_eq!(kv.read_value(slot).as_bytes(), b"hello");
         assert!(kv.is_valid(slot));
-        kv.write_value(slot, &Value::new(b"a longer value spanning stages!".to_vec()).unwrap());
+        kv.write_value(
+            slot,
+            &Value::new(b"a longer value spanning stages!".to_vec()).unwrap(),
+        );
         assert_eq!(
             kv.read_value(slot).as_bytes(),
             b"a longer value spanning stages!"
@@ -339,7 +344,10 @@ mod tests {
                 return; // overflow observed
             }
         }
-        assert_eq!(kv.insert(Key::from_u64(99), &Value::empty()), Err(KvError::Full));
+        assert_eq!(
+            kv.insert(Key::from_u64(99), &Value::empty()),
+            Err(KvError::Full)
+        );
     }
 
     #[test]

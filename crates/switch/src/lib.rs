@@ -35,7 +35,7 @@ pub mod stats;
 pub mod table;
 
 pub use forward::{FailoverAction, FailoverRule, ForwardingTable, RuleScope};
-pub use kv::{KvError, SwitchKvStore};
+pub use kv::{ExportedEntry, KvError, SwitchKvStore};
 pub use pipeline::{PipelineConfig, ResourceUsage};
 pub use program::{cas_value, DropReason, NetChainSwitch, SwitchAction, SwitchRole};
 pub use register::RegisterArray;

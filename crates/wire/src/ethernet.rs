@@ -183,7 +183,13 @@ mod tests {
     #[test]
     fn parse_rejects_short_buffer() {
         let err = EthernetHeader::parse(&[0u8; 5]).unwrap_err();
-        assert!(matches!(err, WireError::Truncated { layer: "ethernet", .. }));
+        assert!(matches!(
+            err,
+            WireError::Truncated {
+                layer: "ethernet",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -71,11 +71,7 @@ impl Ipv4Addr {
 
 impl fmt::Display for Ipv4Addr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}.{}.{}.{}",
-            self.0[0], self.0[1], self.0[2], self.0[3]
-        )
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
     }
 }
 
@@ -309,7 +305,10 @@ mod tests {
         bad[0] = 0x65; // version 6
         assert!(matches!(
             Ipv4Header::parse(&bad).unwrap_err(),
-            WireError::InvalidField { field: "version", .. }
+            WireError::InvalidField {
+                field: "version",
+                ..
+            }
         ));
         assert!(matches!(
             Ipv4Header::parse(&buf[..10]).unwrap_err(),

@@ -473,7 +473,12 @@ impl NetChainHeader {
         let mut off = NETCHAIN_FIXED_HEADER_LEN;
         let mut hops = Vec::with_capacity(sc);
         for _ in 0..sc {
-            hops.push(Ipv4Addr([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]));
+            hops.push(Ipv4Addr([
+                buf[off],
+                buf[off + 1],
+                buf[off + 2],
+                buf[off + 3],
+            ]));
             off += 4;
         }
         let value = Value::new(buf[off..off + value_len].to_vec())?;

@@ -128,28 +128,32 @@ impl NetChainPacket {
         self.fix_lengths();
     }
 
+    /// Serializes the whole packet into a caller-provided buffer, returning
+    /// the number of bytes written. This is the allocation-free path the
+    /// fabric's batch encoder uses; [`Self::to_bytes`] wraps it.
+    pub fn emit_into(&self, out: &mut [u8]) -> WireResult<usize> {
+        let needed = self.wire_size();
+        if out.len() < needed {
+            return Err(crate::error::WireError::BufferTooSmall {
+                needed,
+                available: out.len(),
+            });
+        }
+        let mut off = 0;
+        off += self.eth.emit(&mut out[off..])?;
+        off += self.ip.emit(&mut out[off..])?;
+        off += self.udp.emit(&mut out[off..])?;
+        off += self.netchain.emit(&mut out[off..])?;
+        debug_assert_eq!(off, needed);
+        Ok(off)
+    }
+
     /// Serializes the whole packet to bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = vec![0u8; self.wire_size()];
-        // Buffers are sized exactly above, so emit cannot fail.
-        let mut off = 0;
-        off += self
-            .eth
-            .emit(&mut out[off..])
-            .expect("ethernet emit into exact-size buffer");
-        off += self
-            .ip
-            .emit(&mut out[off..])
-            .expect("ipv4 emit into exact-size buffer");
-        off += self
-            .udp
-            .emit(&mut out[off..])
-            .expect("udp emit into exact-size buffer");
-        off += self
-            .netchain
-            .emit(&mut out[off..])
-            .expect("netchain emit into exact-size buffer");
-        debug_assert_eq!(off, out.len());
+        // The buffer is sized exactly above, so emit cannot fail.
+        self.emit_into(&mut out)
+            .expect("emit into exact-size buffer");
         out
     }
 

@@ -119,7 +119,10 @@ mod tests {
         buf[5] = 3; // length 3 < 8
         assert!(matches!(
             UdpHeader::parse(&buf).unwrap_err(),
-            WireError::InvalidField { field: "length", .. }
+            WireError::InvalidField {
+                field: "length",
+                ..
+            }
         ));
     }
 

@@ -1,0 +1,392 @@
+//! Zero-copy borrowed views over serialized NetChain packets, and a batch
+//! encoder that emits many packets into one contiguous buffer.
+//!
+//! The owned parsers ([`NetChainHeader::parse`], `NetChainPacket::from_bytes`)
+//! allocate for every packet: the chain hop list and the value each land in a
+//! fresh `Vec`. That is fine for the discrete-event simulator, whose cost
+//! model is virtual time, but it dominates the profile of the real-throughput
+//! fabric (`netchain-fabric`), which parses millions of packets per second.
+//! This module provides the fast path:
+//!
+//! * [`NetChainView`] / [`PacketView`] — validate-once, read-in-place
+//!   decoders. All accessors are O(1) reads of big-endian fields from the
+//!   borrowed byte slice; nothing is copied to the heap. The views perform
+//!   exactly the same validation as the owned parsers (including the IPv4
+//!   checksum), so `parse-view then to_owned` and `parse-owned` accept the
+//!   same byte strings and produce equal headers — a property pinned down by
+//!   `tests/proptest_view.rs`.
+//! * [`BatchEncoder`] — appends whole packets back-to-back into one reusable
+//!   buffer, so a burst of replies costs at most one (amortised) allocation
+//!   instead of one `Vec` per packet.
+
+use crate::error::{WireError, WireResult};
+use crate::ethernet::EthernetHeader;
+use crate::ipv4::{Ipv4Addr, Ipv4Header};
+use crate::netchain::{
+    ChainList, Key, NetChainHeader, OpCode, QueryStatus, Value, KEY_LEN, MAX_CHAIN_LEN,
+    MAX_VALUE_LEN, NETCHAIN_FIXED_HEADER_LEN, NETCHAIN_UDP_PORT,
+};
+use crate::packet::NetChainPacket;
+use crate::udp::UdpHeader;
+
+/// A borrowed, validated view of a serialized NetChain header.
+///
+/// Construction validates every fixed field plus the overall length, so the
+/// accessors cannot fail and perform no further checks.
+#[derive(Debug, Clone, Copy)]
+pub struct NetChainView<'a> {
+    /// Exactly the header's bytes: fixed part + chain + value.
+    buf: &'a [u8],
+    chain_len: usize,
+    value_len: usize,
+}
+
+impl<'a> NetChainView<'a> {
+    /// Parses a view from the front of `buf`, returning it plus the number of
+    /// bytes consumed. Accepts exactly the inputs [`NetChainHeader::parse`]
+    /// accepts.
+    pub fn parse(buf: &'a [u8]) -> WireResult<(Self, usize)> {
+        if buf.len() < NETCHAIN_FIXED_HEADER_LEN {
+            return Err(WireError::Truncated {
+                layer: "netchain",
+                needed: NETCHAIN_FIXED_HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        // Validate the enum bytes once so accessors are infallible.
+        OpCode::from_u8(buf[0])?;
+        QueryStatus::from_u8(buf[1])?;
+        let chain_len = usize::from(buf[36]);
+        if chain_len > MAX_CHAIN_LEN {
+            return Err(WireError::ChainTooLong(chain_len));
+        }
+        let value_len = usize::from(u16::from_be_bytes([buf[37], buf[38]]));
+        if value_len > MAX_VALUE_LEN {
+            return Err(WireError::ValueTooLong(value_len));
+        }
+        let needed = NETCHAIN_FIXED_HEADER_LEN + chain_len * 4 + value_len;
+        if buf.len() < needed {
+            return Err(WireError::Truncated {
+                layer: "netchain",
+                needed,
+                available: buf.len(),
+            });
+        }
+        Ok((
+            NetChainView {
+                buf: &buf[..needed],
+                chain_len,
+                value_len,
+            },
+            needed,
+        ))
+    }
+
+    /// The operation / reply code.
+    pub fn op(&self) -> OpCode {
+        OpCode::from_u8(self.buf[0]).expect("validated by parse")
+    }
+
+    /// The reply status.
+    pub fn status(&self) -> QueryStatus {
+        QueryStatus::from_u8(self.buf[1]).expect("validated by parse")
+    }
+
+    /// The session number.
+    pub fn session(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// The per-key sequence number.
+    pub fn seq(&self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.buf[4..12]);
+        u64::from_be_bytes(b)
+    }
+
+    /// The client-chosen request id.
+    pub fn request_id(&self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.buf[12..20]);
+        u64::from_be_bytes(b)
+    }
+
+    /// The key (a 16-byte copy on the stack, never on the heap).
+    pub fn key(&self) -> Key {
+        let mut k = [0u8; KEY_LEN];
+        k.copy_from_slice(&self.buf[20..36]);
+        Key::from_bytes(k)
+    }
+
+    /// Number of remaining chain hops.
+    pub fn chain_len(&self) -> usize {
+        self.chain_len
+    }
+
+    /// The `i`-th remaining chain hop (0 = next hop after the current
+    /// destination). Returns `None` past the end.
+    pub fn hop(&self, i: usize) -> Option<Ipv4Addr> {
+        if i >= self.chain_len {
+            return None;
+        }
+        let off = NETCHAIN_FIXED_HEADER_LEN + i * 4;
+        Some(Ipv4Addr([
+            self.buf[off],
+            self.buf[off + 1],
+            self.buf[off + 2],
+            self.buf[off + 3],
+        ]))
+    }
+
+    /// Iterates the remaining chain hops in order.
+    pub fn hops(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        (0..self.chain_len).map(move |i| self.hop(i).expect("index bounded by chain_len"))
+    }
+
+    /// The value bytes, borrowed from the underlying buffer.
+    pub fn value(&self) -> &'a [u8] {
+        let start = NETCHAIN_FIXED_HEADER_LEN + self.chain_len * 4;
+        &self.buf[start..start + self.value_len]
+    }
+
+    /// Serialized length of the viewed header.
+    pub fn wire_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The raw bytes the view covers.
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Converts the view into an owned [`NetChainHeader`]. The only heap
+    /// allocations are the chain list and (if non-empty) the value — for the
+    /// read-query fast path both are empty and this allocates nothing.
+    pub fn to_owned(&self) -> NetChainHeader {
+        NetChainHeader {
+            op: self.op(),
+            status: self.status(),
+            session: self.session(),
+            seq: self.seq(),
+            request_id: self.request_id(),
+            key: self.key(),
+            chain: ChainList::new(self.hops().collect::<Vec<_>>())
+                .expect("chain length validated by parse"),
+            value: Value::new(self.value().to_vec()).expect("value length validated by parse"),
+        }
+    }
+}
+
+/// A borrowed, validated view of a full serialized NetChain packet
+/// (Ethernet + IPv4 + UDP + NetChain header).
+///
+/// The L2–L4 headers are tiny fixed-size structs, so the view decodes them
+/// eagerly (stack copies, no heap); the variable-length NetChain payload
+/// stays borrowed behind a [`NetChainView`].
+#[derive(Debug, Clone, Copy)]
+pub struct PacketView<'a> {
+    /// Decoded Ethernet header.
+    pub eth: EthernetHeader,
+    /// Decoded IPv4 header (checksum verified).
+    pub ip: Ipv4Header,
+    /// Decoded UDP header.
+    pub udp: UdpHeader,
+    /// Borrowed view of the NetChain payload.
+    pub netchain: NetChainView<'a>,
+}
+
+impl<'a> PacketView<'a> {
+    /// Parses a packet view, performing the same validation as
+    /// `NetChainPacket::from_bytes`.
+    pub fn parse(buf: &'a [u8]) -> WireResult<Self> {
+        let (eth, mut off) = EthernetHeader::parse(buf)?;
+        let (ip, used) = Ipv4Header::parse(&buf[off..])?;
+        off += used;
+        let (udp, used) = UdpHeader::parse(&buf[off..])?;
+        off += used;
+        let (netchain, _) = NetChainView::parse(&buf[off..])?;
+        Ok(PacketView {
+            eth,
+            ip,
+            udp,
+            netchain,
+        })
+    }
+
+    /// True if this is a NetChain query or reply (reserved port either way).
+    pub fn is_netchain(&self) -> bool {
+        self.udp.dst_port == NETCHAIN_UDP_PORT || self.udp.src_port == NETCHAIN_UDP_PORT
+    }
+
+    /// Converts to a fully owned [`NetChainPacket`].
+    pub fn to_owned(&self) -> NetChainPacket {
+        NetChainPacket {
+            eth: self.eth,
+            ip: self.ip,
+            udp: self.udp,
+            netchain: self.netchain.to_owned(),
+        }
+    }
+}
+
+/// Emits many packets back-to-back into one reusable contiguous buffer.
+///
+/// `clear()` + repeated `push()` per burst keeps the buffer's capacity, so a
+/// steady-state shard produces entire reply bursts without touching the
+/// allocator (the `Vec` grows to the high-water mark once and stays there).
+#[derive(Debug, Default)]
+pub struct BatchEncoder {
+    buf: Vec<u8>,
+    /// Frame boundaries: `ends[i]` is the exclusive end of frame `i`.
+    ends: Vec<usize>,
+}
+
+impl BatchEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an encoder with buffer capacity for roughly `frames` packets
+    /// of `bytes_per_frame` bytes.
+    pub fn with_capacity(frames: usize, bytes_per_frame: usize) -> Self {
+        BatchEncoder {
+            buf: Vec::with_capacity(frames * bytes_per_frame),
+            ends: Vec::with_capacity(frames),
+        }
+    }
+
+    /// Appends one packet, returning its frame index.
+    pub fn push(&mut self, pkt: &NetChainPacket) -> WireResult<usize> {
+        let start = self.buf.len();
+        let size = pkt.wire_size();
+        self.buf.resize(start + size, 0);
+        let written = pkt.emit_into(&mut self.buf[start..])?;
+        debug_assert_eq!(written, size);
+        self.ends.push(start + written);
+        Ok(self.ends.len() - 1)
+    }
+
+    /// Number of frames currently buffered.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// True if no frames are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// The bytes of frame `i`.
+    pub fn frame(&self, i: usize) -> &[u8] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        &self.buf[start..self.ends[i]]
+    }
+
+    /// Iterates all buffered frames in push order.
+    pub fn frames(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.len()).map(move |i| self.frame(i))
+    }
+
+    /// Total buffered bytes.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Clears the frames while keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.ends.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netchain::{ChainList, OpCode, Value};
+
+    fn sample_packet(value_len: usize, hops: usize) -> NetChainPacket {
+        NetChainPacket::query(
+            Ipv4Addr::for_host(3),
+            40_000,
+            Ipv4Addr::for_switch(0),
+            OpCode::Write,
+            Key::from_name("view/key"),
+            Value::filled(0x5a, value_len).unwrap(),
+            ChainList::new(
+                (1..=hops as u32)
+                    .map(Ipv4Addr::for_switch)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+            77,
+        )
+    }
+
+    #[test]
+    fn view_matches_owned_parser() {
+        let pkt = sample_packet(32, 2);
+        let bytes = pkt.to_bytes();
+        let view = PacketView::parse(&bytes).unwrap();
+        assert!(view.is_netchain());
+        assert_eq!(view.ip.dst, pkt.ip.dst);
+        assert_eq!(view.netchain.op(), OpCode::Write);
+        assert_eq!(view.netchain.key(), pkt.netchain.key);
+        assert_eq!(view.netchain.seq(), pkt.netchain.seq);
+        assert_eq!(view.netchain.request_id(), 77);
+        assert_eq!(view.netchain.chain_len(), 2);
+        assert_eq!(
+            view.netchain.hops().collect::<Vec<_>>(),
+            pkt.netchain.chain.hops()
+        );
+        assert_eq!(view.netchain.value(), pkt.netchain.value.as_bytes());
+        assert_eq!(view.to_owned(), pkt);
+    }
+
+    #[test]
+    fn view_rejects_truncation_like_owned_parser() {
+        let pkt = sample_packet(16, 1);
+        let payload = pkt.payload_bytes();
+        for cut in 0..payload.len() {
+            let view_err = NetChainView::parse(&payload[..cut]).is_err();
+            let owned_err = NetChainHeader::parse(&payload[..cut]).is_err();
+            assert_eq!(view_err, owned_err, "divergence at cut {cut}");
+            assert!(view_err, "truncated input accepted at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn view_rejects_bad_enum_bytes() {
+        let pkt = sample_packet(0, 0);
+        let mut payload = pkt.payload_bytes();
+        payload[0] = 0xfe;
+        assert!(matches!(
+            NetChainView::parse(&payload).unwrap_err(),
+            WireError::UnknownOpCode(0xfe)
+        ));
+        let mut payload = pkt.payload_bytes();
+        payload[1] = 0x77;
+        assert!(matches!(
+            NetChainView::parse(&payload).unwrap_err(),
+            WireError::UnknownStatus(0x77)
+        ));
+    }
+
+    #[test]
+    fn batch_encoder_roundtrips_frames() {
+        let mut enc = BatchEncoder::with_capacity(8, 128);
+        let pkts: Vec<NetChainPacket> = (0..5).map(|i| sample_packet(i * 8, i % 3)).collect();
+        for p in &pkts {
+            enc.push(p).unwrap();
+        }
+        assert_eq!(enc.len(), 5);
+        for (frame, pkt) in enc.frames().zip(&pkts) {
+            assert_eq!(&PacketView::parse(frame).unwrap().to_owned(), pkt);
+        }
+        let cap = enc.byte_len();
+        enc.clear();
+        assert!(enc.is_empty());
+        assert_eq!(enc.byte_len(), 0);
+        let _ = cap;
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based equivalence of the zero-copy view parsers
+//! (`NetChainView` / `PacketView`) against the owned parsers: on every byte
+//! string — well-formed, mutated, or arbitrary garbage — both must agree on
+//! accept/reject, and on acceptance the view's owned conversion must equal
+//! the owned parse exactly.
+
+use netchain_wire::{
+    ChainList, Ipv4Addr, Key, NetChainHeader, NetChainPacket, NetChainView, OpCode, PacketView,
+    QueryStatus, Value, MAX_CHAIN_LEN, MAX_VALUE_LEN,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+fn arb_opcode() -> impl Strategy<Value = OpCode> {
+    prop_oneof![
+        Just(OpCode::Read),
+        Just(OpCode::Write),
+        Just(OpCode::Insert),
+        Just(OpCode::Delete),
+        Just(OpCode::Cas),
+        Just(OpCode::ReadReply),
+        Just(OpCode::WriteReply),
+        Just(OpCode::InsertReply),
+        Just(OpCode::DeleteReply),
+        Just(OpCode::CasReply),
+    ]
+}
+
+fn arb_status() -> impl Strategy<Value = QueryStatus> {
+    prop_oneof![
+        Just(QueryStatus::Ok),
+        Just(QueryStatus::NotFound),
+        Just(QueryStatus::CasFailed),
+        Just(QueryStatus::Declined),
+        Just(QueryStatus::Retry),
+    ]
+}
+
+fn arb_header() -> impl Strategy<Value = NetChainHeader> {
+    (
+        arb_opcode(),
+        arb_status(),
+        any::<u16>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<[u8; 16]>(),
+        proptest::collection::vec(any::<[u8; 4]>().prop_map(Ipv4Addr), 0..=MAX_CHAIN_LEN),
+        proptest::collection::vec(any::<u8>(), 0..=MAX_VALUE_LEN),
+    )
+        .prop_map(
+            |(op, status, session, seq, request_id, key, chain, value)| NetChainHeader {
+                op,
+                status,
+                session,
+                seq,
+                request_id,
+                key: Key::from_bytes(key),
+                chain: ChainList::new(chain).expect("bounded by strategy"),
+                value: Value::new(value).expect("bounded by strategy"),
+            },
+        )
+}
+
+fn arb_packet() -> impl Strategy<Value = NetChainPacket> {
+    (arb_header(), any::<[u8; 4]>(), any::<[u8; 4]>(), 1024u16..).prop_map(
+        |(hdr, client, first_hop, port)| {
+            NetChainPacket::query(
+                Ipv4Addr(client),
+                port,
+                Ipv4Addr(first_hop),
+                hdr.op,
+                hdr.key,
+                hdr.value.clone(),
+                hdr.chain.clone(),
+                hdr.request_id,
+            )
+        },
+    )
+}
+
+/// Asserts that the view parser and the owned parser agree on `bytes`:
+/// both reject, or both accept with equal consumed lengths and equal decoded
+/// headers.
+fn assert_header_parsers_agree(bytes: &[u8]) -> Result<(), TestCaseError> {
+    match (NetChainHeader::parse(bytes), NetChainView::parse(bytes)) {
+        (Ok((owned, owned_used)), Ok((view, view_used))) => {
+            prop_assert_eq!(owned_used, view_used);
+            prop_assert_eq!(view.wire_len(), view_used);
+            prop_assert_eq!(view.to_owned(), owned);
+        }
+        (Err(_), Err(_)) => {}
+        (owned, view) => prop_assert!(
+            false,
+            "parsers diverged: owned={owned:?} view={}",
+            if view.is_ok() { "Ok" } else { "Err" }
+        ),
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Well-formed packets: the view decodes every field identically to the
+    /// owned parser, via both the accessors and the owned conversion.
+    #[test]
+    fn view_roundtrips_valid_packets(pkt in arb_packet()) {
+        let bytes = pkt.to_bytes();
+        let owned = NetChainPacket::from_bytes(&bytes).unwrap();
+        let view = PacketView::parse(&bytes).unwrap();
+        prop_assert_eq!(view.eth, owned.eth);
+        prop_assert_eq!(view.ip, owned.ip);
+        prop_assert_eq!(view.udp, owned.udp);
+        prop_assert_eq!(view.netchain.op(), owned.netchain.op);
+        prop_assert_eq!(view.netchain.status(), owned.netchain.status);
+        prop_assert_eq!(view.netchain.session(), owned.netchain.session);
+        prop_assert_eq!(view.netchain.seq(), owned.netchain.seq);
+        prop_assert_eq!(view.netchain.request_id(), owned.netchain.request_id);
+        prop_assert_eq!(view.netchain.key(), owned.netchain.key);
+        prop_assert_eq!(
+            view.netchain.hops().collect::<Vec<_>>(),
+            owned.netchain.chain.hops().to_vec()
+        );
+        prop_assert_eq!(view.netchain.value(), owned.netchain.value.as_bytes());
+        prop_assert_eq!(view.to_owned(), owned);
+    }
+
+    /// Truncating a valid header anywhere: both parsers reject, identically.
+    #[test]
+    fn view_and_owned_agree_on_truncations(hdr in arb_header(), frac in 0.0f64..1.0) {
+        let payload = {
+            let mut buf = vec![0u8; hdr.wire_len()];
+            hdr.emit(&mut buf).unwrap();
+            buf
+        };
+        let cut = (payload.len() as f64 * frac) as usize;
+        assert_header_parsers_agree(&payload[..cut])?;
+    }
+
+    /// Mutating one byte of a valid header: both parsers agree on the
+    /// (possibly still valid) result.
+    #[test]
+    fn view_and_owned_agree_on_single_byte_mutations(
+        hdr in arb_header(),
+        pos_frac in 0.0f64..1.0,
+        byte in any::<u8>(),
+    ) {
+        let mut payload = {
+            let mut buf = vec![0u8; hdr.wire_len()];
+            hdr.emit(&mut buf).unwrap();
+            buf
+        };
+        let pos = ((payload.len() - 1) as f64 * pos_frac) as usize;
+        payload[pos] = byte;
+        assert_header_parsers_agree(&payload)?;
+    }
+
+    /// Arbitrary garbage: never a panic, never a disagreement — for the
+    /// header pair and the full-packet pair alike.
+    #[test]
+    fn view_and_owned_agree_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        assert_header_parsers_agree(&bytes)?;
+        let owned = NetChainPacket::from_bytes(&bytes);
+        let view = PacketView::parse(&bytes);
+        prop_assert_eq!(owned.is_ok(), view.is_ok());
+        if let (Ok(owned), Ok(view)) = (owned, view) {
+            prop_assert_eq!(view.to_owned(), owned);
+        }
+    }
+}

@@ -10,15 +10,17 @@ use netchain::sim::{SimDuration, SimTime};
 use netchain::wire::Ipv4Addr;
 
 fn main() {
-    let mut config = ClusterConfig::default();
-    // S0–S2 hold the data; S3 is the spare the controller recovers onto.
-    config.ring_switches = Some(3);
-    config.controller = ControllerConfig {
-        recovery_start_delay: SimDuration::from_secs(5),
-        total_sync_duration: SimDuration::from_secs(20),
-        replacement: Some(Ipv4Addr::for_switch(3)),
-        recovery_groups: Some(20),
-        ..ControllerConfig::default()
+    let config = ClusterConfig {
+        // S0–S2 hold the data; S3 is the spare the controller recovers onto.
+        ring_switches: Some(3),
+        controller: ControllerConfig {
+            recovery_start_delay: SimDuration::from_secs(5),
+            total_sync_duration: SimDuration::from_secs(20),
+            replacement: Some(Ipv4Addr::for_switch(3)),
+            recovery_groups: Some(20),
+            ..ControllerConfig::default()
+        },
+        ..Default::default()
     };
     let mut cluster = NetChainCluster::testbed(config);
     cluster.populate_store(5_000, 64);

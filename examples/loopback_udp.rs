@@ -10,7 +10,10 @@ use netchain::wire::{Key, Value};
 
 fn main() -> std::io::Result<()> {
     let mut deployment = Deployment::start(DeploymentConfig::default())?;
-    println!("started {} emulated switches on loopback:", deployment.switches().len());
+    println!(
+        "started {} emulated switches on loopback:",
+        deployment.switches().len()
+    );
     for handle in deployment.switches() {
         println!("  {} -> {}", handle.ip(), handle.addr());
     }
@@ -39,7 +42,8 @@ fn main() -> std::io::Result<()> {
     // Every chain replica holds the final value: chain replication applied it
     // everywhere before the tail replied.
     for handle in deployment.switches() {
-        let stored = handle.with_switch(|sw| sw.kv().lookup(&key).map(|slot| sw.kv().read_value(slot)));
+        let stored =
+            handle.with_switch(|sw| sw.kv().lookup(&key).map(|slot| sw.kv().read_value(slot)));
         if let Some(value) = stored {
             println!("  {} stores {:?}", handle.ip(), value.as_u64());
         }

@@ -36,9 +36,21 @@ fn main() {
         vec![
             KvOp::Write(config_key, Value::from_u64(500)),
             KvOp::Read(config_key),
-            KvOp::Cas { key: lock_key, expected: 0, new: 42 },
-            KvOp::Cas { key: lock_key, expected: 0, new: 43 },
-            KvOp::Cas { key: lock_key, expected: 42, new: 0 },
+            KvOp::Cas {
+                key: lock_key,
+                expected: 0,
+                new: 42,
+            },
+            KvOp::Cas {
+                key: lock_key,
+                expected: 0,
+                new: 43,
+            },
+            KvOp::Cas {
+                key: lock_key,
+                expected: 42,
+                new: 0,
+            },
         ],
     );
     cluster.sim.run_for(SimDuration::from_millis(50));

@@ -14,6 +14,8 @@
 //! * [`apps`] — locks, 2PL transactions, configuration store, barriers.
 //! * [`model`] — the bounded model checker (TLA+ appendix port).
 //! * [`net`] — the real-socket (UDP loopback) deployment mode.
+//! * [`fabric`] — the in-process multi-core switch fabric (real throughput:
+//!   lock-free SPSC rings, batched zero-copy processing).
 //! * [`experiments`] — the per-figure reproduction harness.
 //!
 //! See `examples/` for runnable walkthroughs and `DESIGN.md` /
@@ -25,6 +27,7 @@ pub use netchain_apps as apps;
 pub use netchain_baseline as baseline;
 pub use netchain_core as core;
 pub use netchain_experiments as experiments;
+pub use netchain_fabric as fabric;
 pub use netchain_model as model;
 pub use netchain_net as net;
 pub use netchain_sim as sim;

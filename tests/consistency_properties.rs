@@ -21,11 +21,13 @@ proptest! {
         loss in 0.0f64..0.05,
         write_ratio in 0.0f64..1.0,
     ) {
-        let mut config = ClusterConfig::default();
-        config.sim = SimConfig::default().with_seed(seed);
-        config.link = LinkParams::datacenter_40g()
-            .with_loss(loss)
-            .with_jitter(SimDuration::from_micros(5));
+        let config = ClusterConfig {
+            sim: SimConfig::default().with_seed(seed),
+            link: LinkParams::datacenter_40g()
+                .with_loss(loss)
+                .with_jitter(SimDuration::from_micros(5)),
+            ..Default::default()
+        };
         let mut cluster = NetChainCluster::testbed(config);
         cluster.populate_store(50, 32);
         cluster.install_workload_client(
@@ -72,8 +74,10 @@ proptest! {
     /// last written value, regardless of seed.
     #[test]
     fn read_your_writes_holds(seed in 0u64..1_000, final_value in 1u64..1_000_000) {
-        let mut config = ClusterConfig::default();
-        config.sim = SimConfig::default().with_seed(seed);
+        let config = ClusterConfig {
+            sim: SimConfig::default().with_seed(seed),
+            ..Default::default()
+        };
         let mut cluster = NetChainCluster::testbed(config);
         let key = Key::from_name("prop/key");
         cluster.populate_key(key, &Value::from_u64(0));

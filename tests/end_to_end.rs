@@ -2,9 +2,7 @@
 //! loopback), failure handling under load, and NetChain-vs-baseline sanity
 //! comparisons.
 
-use netchain::core::{
-    ClusterConfig, ControllerConfig, KvOp, NetChainCluster, WorkloadConfig,
-};
+use netchain::core::{ClusterConfig, ControllerConfig, KvOp, NetChainCluster, WorkloadConfig};
 use netchain::sim::{SimDuration, SimTime};
 use netchain::wire::{Ipv4Addr, Key, QueryStatus, Value};
 
@@ -21,8 +19,16 @@ fn write_read_cas_delete_through_the_simulated_testbed() {
             KvOp::Read(key),
             KvOp::Write(key, Value::from_u64(7)),
             KvOp::Read(key),
-            KvOp::Cas { key: lock, expected: 0, new: 99 },
-            KvOp::Cas { key: lock, expected: 0, new: 100 },
+            KvOp::Cas {
+                key: lock,
+                expected: 0,
+                new: 99,
+            },
+            KvOp::Cas {
+                key: lock,
+                expected: 0,
+                new: 100,
+            },
             KvOp::Delete(key),
             KvOp::Read(key),
         ],
@@ -37,7 +43,11 @@ fn write_read_cas_delete_through_the_simulated_testbed() {
     assert_eq!(r[3].status, Some(QueryStatus::Ok));
     assert_eq!(r[4].status, Some(QueryStatus::CasFailed));
     assert_eq!(r[5].status, Some(QueryStatus::Ok));
-    assert_eq!(r[6].status, Some(QueryStatus::NotFound), "deleted key is gone");
+    assert_eq!(
+        r[6].status,
+        Some(QueryStatus::NotFound),
+        "deleted key is gone"
+    );
     assert_eq!(client.agent_stats().version_regressions, 0);
 }
 
@@ -65,7 +75,10 @@ fn concurrent_clients_never_observe_version_regressions() {
         assert_eq!(stats.version_regressions, 0, "host {host} saw a regression");
         total_completed += stats.completed;
     }
-    assert!(total_completed > 1_000, "clients made progress: {total_completed}");
+    assert!(
+        total_completed > 1_000,
+        "clients made progress: {total_completed}"
+    );
 }
 
 #[test]
@@ -75,7 +88,9 @@ fn chain_replicas_converge_after_writes() {
     let chain = cluster.populate_key(key, &Value::from_u64(0));
     cluster.install_scripted_client(
         0,
-        (1..=20).map(|i| KvOp::Write(key, Value::from_u64(i))).collect(),
+        (1..=20)
+            .map(|i| KvOp::Write(key, Value::from_u64(i)))
+            .collect(),
     );
     cluster.sim.run_for(SimDuration::from_millis(100));
     assert!(cluster.scripted_client(0).unwrap().is_done());
@@ -93,19 +108,24 @@ fn chain_replicas_converge_after_writes() {
         versions.push(kv.seq(slot));
     }
     assert_eq!(versions.len(), 3);
-    assert!(versions.windows(2).all(|w| w[0] == w[1]), "replicas agree: {versions:?}");
+    assert!(
+        versions.windows(2).all(|w| w[0] == w[1]),
+        "replicas agree: {versions:?}"
+    );
 }
 
 #[test]
 fn middle_switch_failure_heals_without_regressions() {
-    let mut config = ClusterConfig::default();
-    config.ring_switches = Some(3);
-    config.controller = ControllerConfig {
-        recovery_start_delay: SimDuration::from_secs(2),
-        total_sync_duration: SimDuration::from_secs(4),
-        replacement: Some(Ipv4Addr::for_switch(3)),
-        recovery_groups: Some(10),
-        ..ControllerConfig::default()
+    let config = ClusterConfig {
+        ring_switches: Some(3),
+        controller: ControllerConfig {
+            recovery_start_delay: SimDuration::from_secs(2),
+            total_sync_duration: SimDuration::from_secs(4),
+            replacement: Some(Ipv4Addr::for_switch(3)),
+            recovery_groups: Some(10),
+            ..ControllerConfig::default()
+        },
+        ..Default::default()
     };
     let mut cluster = NetChainCluster::testbed(config);
     cluster.populate_store(300, 64);
@@ -197,7 +217,9 @@ fn netchain_outperforms_baseline_on_identical_workload() {
         workload,
     );
     baseline.populate_store(1_000, 64);
-    baseline.sim.run_for(duration + SimDuration::from_millis(10));
+    baseline
+        .sim
+        .run_for(duration + SimDuration::from_millis(10));
     let baseline_completed = baseline.total_completed();
 
     assert!(

@@ -1,0 +1,220 @@
+//! Vendored micro-benchmark harness exposing the subset of the `criterion`
+//! API this workspace's benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`].
+//!
+//! Methodology (simpler than upstream, but a real measurement): each
+//! benchmark is warmed up, the per-iteration cost is estimated, and then
+//! `sample_size` samples of a fixed iteration count are timed. The median
+//! sample is reported as ns/iter together with the implied throughput in
+//! iterations per second. There is no statistical regression analysis and no
+//! HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1_200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self.clone(),
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(r) => {
+                let per_iter_ns = r.median_ns_per_iter;
+                let rate = if per_iter_ns > 0.0 {
+                    1e9 / per_iter_ns
+                } else {
+                    f64::INFINITY
+                };
+                println!(
+                    "{name:<50} time: {:>12} /iter   thrpt: {:>14}/s   ({} samples x {} iters)",
+                    format_ns(per_iter_ns),
+                    format_rate(rate),
+                    r.samples,
+                    r.iters_per_sample,
+                );
+            }
+            None => println!("{name:<50} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+struct BenchResult {
+    median_ns_per_iter: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// measure.
+pub struct Bencher {
+    config: Criterion,
+    result: Option<BenchResult>,
+}
+
+impl Bencher {
+    /// Measures `f`, which is called many times per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent, counting iterations
+        // to estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Size each sample so that sample_size samples fill the measurement
+        // budget, with at least one iteration per sample.
+        let budget = self.config.measurement.as_secs_f64();
+        let iters_per_sample =
+            ((budget / self.config.sample_size as f64 / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = samples_ns[samples_ns.len() / 2];
+        self.result = Some(BenchResult {
+            median_ns_per_iter: median,
+            samples: samples_ns.len(),
+            iters_per_sample,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        c.bench_function("selftest/noop", |b| {
+            b.iter(|| 1 + 1);
+        });
+        c.bench_function("selftest/closure_called", |b| {
+            ran = true;
+            b.iter(|| black_box(7u64).wrapping_mul(3));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_rate(2_000_000.0).ends_with('M'));
+    }
+}

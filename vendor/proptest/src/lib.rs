@@ -1,0 +1,128 @@
+//! Vendored, dependency-free subset of the `proptest` API.
+//!
+//! Supports the parts of proptest this workspace's tests actually use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`), range and
+//! `any::<T>()` strategies, `prop_oneof!`, `prop_map`, `collection::vec`, and
+//! the `prop_assert*` macros. Two deliberate simplifications relative to
+//! upstream:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs via the
+//!   assertion message but is not minimised;
+//! * **fixed deterministic seeding** — each test function derives its RNG
+//!   stream from its own name and the case index, so failures reproduce
+//!   across runs without a persistence file.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import used by tests: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }` item
+/// becomes a `#[test]` that runs `body` for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`]. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(message) = result {
+                    panic!(
+                        "proptest {} failed at case {}/{}:\n{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_each! { ($config); $($rest)* }
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strat),)+
+        ])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// panicking directly) so the harness can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}

@@ -1,0 +1,56 @@
+//! Test-runner configuration and the deterministic RNG behind strategies.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A failed property case: the message carried back to the harness.
+pub type TestCaseError = String;
+
+/// Runner configuration (the `#![proptest_config(..)]` payload).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the offline suite quick while
+        // still exploring a meaningful slice of each input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies: a ChaCha8 stream derived deterministically
+/// from the test function's name and the case index, so every run explores
+/// the same cases and failures reproduce without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// The stream for case `case` of test `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            rng: ChaCha8Rng::seed_from_u64(hash ^ (u64::from(case) << 32 | u64::from(case))),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn inner(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+}
