@@ -32,6 +32,22 @@ fn read_query_bytes(key: u64) -> Vec<u8> {
     .to_bytes()
 }
 
+fn write_query_bytes(key: u64, ring: &netchain_core::HashRing) -> Vec<u8> {
+    let k = Key::from_u64(key);
+    let chain = ring.chain_for_key(&k);
+    NetChainPacket::query(
+        Ipv4Addr::for_host(0),
+        40_000,
+        chain.head(),
+        OpCode::Write,
+        k,
+        Value::from_u64(key),
+        ChainList::new(chain.switches[1..].to_vec()).unwrap(),
+        key,
+    )
+    .to_bytes()
+}
+
 fn bench_parse(c: &mut Criterion) {
     let bytes = read_query_bytes(42);
     c.bench_function("fabric/parse_owned", |b| {
@@ -39,6 +55,26 @@ fn bench_parse(c: &mut Criterion) {
     });
     c.bench_function("fabric/parse_view", |b| {
         b.iter(|| PacketView::parse(black_box(&bytes)).unwrap())
+    });
+    // The write-path arena: converting a parsed view into an owned packet,
+    // fresh allocation vs refilling a pooled packet in place. The pooled
+    // variant is what `Shard::process_burst` does — zero allocations in
+    // steady state even for writes.
+    let ring = FabricConfig::new(1).build_ring();
+    let write_bytes = write_query_bytes(7, &ring);
+    c.bench_function("fabric/write_to_owned_fresh", |b| {
+        b.iter(|| {
+            let view = PacketView::parse(black_box(&write_bytes)).unwrap();
+            black_box(view.to_owned())
+        })
+    });
+    c.bench_function("fabric/write_to_owned_pooled", |b| {
+        let mut pooled = PacketView::parse(&write_bytes).unwrap().to_owned();
+        b.iter(|| {
+            let view = PacketView::parse(black_box(&write_bytes)).unwrap();
+            view.to_owned_into(&mut pooled);
+            black_box(&pooled);
+        })
     });
 }
 
@@ -69,6 +105,19 @@ fn bench_burst(c: &mut Criterion) {
         b.iter(|| {
             replies.clear();
             shards[0].process_burst(frames.iter().map(|f| f.as_slice()), &mut replies);
+            black_box(replies.len())
+        })
+    });
+    // The write path end to end (parse → chain waves across 3 switches →
+    // batch-encoded replies), exercising the packet pool: after the first
+    // burst, the parse path recycles packet buffers instead of allocating.
+    let write_frames: Vec<Vec<u8>> = (0..config.burst as u64)
+        .map(|i| write_query_bytes(i % workload.num_keys, &ring))
+        .collect();
+    c.bench_function("fabric/shard_burst_32_writes", |b| {
+        b.iter(|| {
+            replies.clear();
+            shards[0].process_burst(write_frames.iter().map(|f| f.as_slice()), &mut replies);
             black_box(replies.len())
         })
     });

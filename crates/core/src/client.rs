@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 
 const TIMER_ARRIVAL: TimerToken = 1;
 const TIMER_RETRY: TimerToken = 2;
+const TIMER_START: TimerToken = 3;
 
 /// Configuration of a synthetic key-value workload, mirroring the parameters
 /// the paper sweeps: value size, store size, write ratio, offered rate.
@@ -247,6 +248,9 @@ pub struct ScriptedClient {
     script: VecDeque<KvOp>,
     results: Vec<CompletedQuery>,
     started: bool,
+    /// How long after simulation start the script begins (phased experiments
+    /// install several scripted clients up front and stagger them).
+    start_delay: SimDuration,
 }
 
 impl ScriptedClient {
@@ -263,7 +267,14 @@ impl ScriptedClient {
             script: script.into(),
             results: Vec::new(),
             started: false,
+            start_delay: SimDuration::ZERO,
         }
+    }
+
+    /// Returns a copy that starts issuing only after `delay`.
+    pub fn with_start_delay(mut self, delay: SimDuration) -> Self {
+        self.start_delay = delay;
+        self
     }
 
     /// A client with nothing to do (placeholder for unused hosts).
@@ -297,11 +308,20 @@ impl ScriptedClient {
 
 impl Node<NetMsg> for ScriptedClient {
     fn on_start(&mut self, ctx: &mut Context<NetMsg>) {
-        self.started = true;
-        self.issue_next(ctx);
+        if self.start_delay == SimDuration::ZERO {
+            self.started = true;
+            self.issue_next(ctx);
+        } else {
+            ctx.set_timer(self.start_delay, TIMER_START);
+        }
     }
 
     fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<NetMsg>) {
+        if token == TIMER_START && !self.started {
+            self.started = true;
+            self.issue_next(ctx);
+            return;
+        }
         if token != TIMER_RETRY {
             return;
         }

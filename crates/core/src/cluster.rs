@@ -335,10 +335,23 @@ impl NetChainCluster {
     /// Replaces the host at `host_index` with a scripted client executing the
     /// given operations sequentially.
     pub fn install_scripted_client(&mut self, host_index: usize, script: Vec<KvOp>) {
+        self.install_scripted_client_at(host_index, script, netchain_sim::SimDuration::ZERO);
+    }
+
+    /// Like [`Self::install_scripted_client`], but the script starts issuing
+    /// only after `delay` — for phased experiments (e.g. a script that runs
+    /// during the failover window and another after recovery).
+    pub fn install_scripted_client_at(
+        &mut self,
+        host_index: usize,
+        script: Vec<KvOp>,
+        delay: netchain_sim::SimDuration,
+    ) {
         let host = self.layout.hosts[host_index];
         let gw = self.layout.gateways[&host];
         let agent = self.agent_config(host_index);
-        let client = ScriptedClient::new(agent, self.directory(), gw, script);
+        let client =
+            ScriptedClient::new(agent, self.directory(), gw, script).with_start_delay(delay);
         self.sim.install_node(host, Box::new(client));
     }
 

@@ -19,10 +19,11 @@
 //! block ~1 % of keys at a time (Figure 10(b)).
 
 use crate::directory::AddressMap;
+use crate::failplan::{self, FailoverPlan, RecoveryPlan};
 use crate::hashring::HashRing;
 use crate::message::{ControlMsg, NetMsg};
 use netchain_sim::{Context, Node, NodeId, SimDuration, SimTime, TimerToken};
-use netchain_switch::{FailoverAction, FailoverRule, RuleScope};
+use netchain_switch::FailoverRule;
 use netchain_wire::Ipv4Addr;
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
@@ -80,10 +81,9 @@ pub enum RecoveryPhase {
 
 #[derive(Debug, Clone)]
 struct RecoveryTask {
-    failed_ip: Ipv4Addr,
     failed_node: NodeId,
-    replacement_ip: Ipv4Addr,
-    groups: Vec<u32>,
+    /// The shared per-group repair plan this task executes step by step.
+    plan: RecoveryPlan,
     current: usize,
     phase: RecoveryPhase,
 }
@@ -114,6 +114,9 @@ pub struct Controller {
     tasks: Vec<RecoveryTask>,
     records: Vec<RecoveryRecord>,
     pending_failover_at: HashMap<Ipv4Addr, SimTime>,
+    /// Outstanding export responses per task (one group syncs at a time, so
+    /// the task index is enough).
+    pending_exports: HashMap<usize, usize>,
     next_session: u64,
 }
 
@@ -137,6 +140,7 @@ impl Controller {
             tasks: Vec::new(),
             records: Vec::new(),
             pending_failover_at: HashMap::new(),
+            pending_exports: HashMap::new(),
             next_session: 1,
         }
     }
@@ -156,15 +160,8 @@ impl Controller {
         self.tasks
             .iter()
             .rev()
-            .find(|t| t.failed_ip == failed_ip)
+            .find(|t| t.plan.failed_ip == failed_ip)
             .map(|t| t.phase)
-    }
-
-    fn recovery_modulus(&self) -> u32 {
-        self.config
-            .recovery_groups
-            .unwrap_or(self.ring.num_virtual_nodes() as u32)
-            .max(1)
     }
 
     fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
@@ -190,40 +187,25 @@ impl Controller {
 
     /// Algorithm 2: install fast-failover rules at the failed switch's
     /// neighbours and bump the session of every switch that became a head.
+    /// The rules and the (deterministic) session order come from the shared
+    /// [`FailoverPlan`]; this method only delivers them.
     fn fast_failover(
         &mut self,
         failed_node: NodeId,
         failed_ip: Ipv4Addr,
         ctx: &mut Context<NetMsg>,
     ) {
+        let plan = FailoverPlan::compute(&self.ring, failed_ip);
         for neighbor in self.neighbors_of(failed_node) {
-            self.send_rule(
-                ctx,
-                neighbor,
-                failed_ip,
-                FailoverRule {
-                    priority: 1,
-                    scope: RuleScope::All,
-                    action: FailoverAction::ChainFailover,
-                },
-            );
+            self.send_rule(ctx, neighbor, failed_ip, plan.rule);
         }
-        // Session bump for new heads: for every affected group where the
-        // failed switch was the head, its successor now sequences writes and
-        // must use a larger session number (§5.2, NOPaxos-style ordering).
-        let mut new_heads: HashSet<Ipv4Addr> = HashSet::new();
-        for &group in &self.ring.groups_involving(failed_ip) {
-            let chain = self.ring.chain_for_group(group);
-            if chain.head() == failed_ip {
-                if let Some(successor) = chain.successor(failed_ip) {
-                    new_heads.insert(successor);
-                }
-            }
-        }
-        for head_ip in new_heads {
+        for head_ip in plan.new_heads {
+            // The session is consumed per plan entry even if the head has no
+            // registered node — the plan's `base_session + i` assignment must
+            // hold in every executor or the live/sim differential breaks.
+            let session = self.next_session;
+            self.next_session += 1;
             if let Some(node) = self.addr.node_of(head_ip) {
-                let session = self.next_session;
-                self.next_session += 1;
                 ctx.send_control(
                     node,
                     NetMsg::Control(ControlMsg::SetSession { session }),
@@ -234,28 +216,7 @@ impl Controller {
     }
 
     fn pick_replacement(&self, failed_ip: Ipv4Addr) -> Option<Ipv4Addr> {
-        if let Some(explicit) = self.config.replacement {
-            return Some(explicit);
-        }
-        // Prefer a live switch that does not already participate in the
-        // affected chains, to spread load; fall back to any live switch.
-        let affected: HashSet<Ipv4Addr> = self
-            .ring
-            .groups_involving(failed_ip)
-            .iter()
-            .flat_map(|&g| self.ring.chain_for_group(g).switches)
-            .collect();
-        let live: Vec<Ipv4Addr> = self
-            .ring
-            .switches()
-            .iter()
-            .copied()
-            .filter(|ip| !self.failed.contains(ip))
-            .collect();
-        live.iter()
-            .copied()
-            .find(|ip| !affected.contains(ip))
-            .or_else(|| live.first().copied())
+        failplan::pick_replacement(&self.ring, failed_ip, &self.failed, self.config.replacement)
     }
 
     fn task_timer(&self, base: TimerToken, task_idx: usize) -> TimerToken {
@@ -263,29 +224,19 @@ impl Controller {
     }
 
     fn start_group_sync(&mut self, task_idx: usize, ctx: &mut Context<NetMsg>) {
-        let (failed_ip, failed_node, group, group_count) = {
+        let (failed_ip, failed_node, block, group_count) = {
             let task = &self.tasks[task_idx];
             (
-                task.failed_ip,
+                task.plan.failed_ip,
                 task.failed_node,
-                task.groups[task.current],
-                task.groups.len(),
+                task.plan.steps[task.current].block,
+                task.plan.steps.len(),
             )
         };
-        let modulus = self.recovery_modulus();
         // Phase 1 of two-phase atomic switching: block queries of this group
         // destined to the failed switch while the replacement synchronises.
         for neighbor in self.neighbors_of(failed_node) {
-            self.send_rule(
-                ctx,
-                neighbor,
-                failed_ip,
-                FailoverRule {
-                    priority: 2,
-                    scope: RuleScope::Group { group, modulus },
-                    action: FailoverAction::Block,
-                },
-            );
+            self.send_rule(ctx, neighbor, failed_ip, block);
         }
         // The synchronisation takes its share of the total sync budget.
         let per_group = SimDuration::from_nanos(
@@ -295,24 +246,26 @@ impl Controller {
     }
 
     fn finish_group_sync(&mut self, task_idx: usize, ctx: &mut Context<NetMsg>) {
-        let (failed_ip, group) = {
+        let (group, donors, modulus) = {
             let task = &self.tasks[task_idx];
-            (task.failed_ip, task.groups[task.current])
+            let step = &task.plan.steps[task.current];
+            (step.group, step.donors.clone(), task.plan.modulus)
         };
-        let modulus = self.recovery_modulus();
-        // Ask the reference switch (chain successor of the failed switch, or
-        // its predecessor if the failed switch was the tail) for the group's
-        // state. The reply triggers the import + activation.
-        let chain = self.ring.chain_for_group(group);
-        let reference = chain
-            .successor(failed_ip)
-            .or_else(|| chain.predecessor(failed_ip));
-        let Some(reference_ip) = reference else {
-            // Single-switch chain (f = 0): nothing to synchronise from.
-            self.activate_group(task_idx, group, ctx);
+        // Gather the group's state from every live replica; the replacement
+        // imports the union and the per-key version registers arbitrate
+        // (stale copies never clobber newer state). The last response
+        // triggers the activation.
+        let donor_nodes: Vec<NodeId> = donors
+            .iter()
+            .filter_map(|&ip| self.addr.node_of(ip))
+            .collect();
+        if donor_nodes.is_empty() {
+            // Nothing to synchronise from (f = 0 or everything else dead).
+            self.activate_group(task_idx, ctx);
             return;
-        };
-        if let Some(node) = self.addr.node_of(reference_ip) {
+        }
+        self.pending_exports.insert(task_idx, donor_nodes.len());
+        for node in donor_nodes {
             ctx.send_control(
                 node,
                 NetMsg::Control(ControlMsg::ExportRequest {
@@ -325,22 +278,30 @@ impl Controller {
         }
     }
 
-    fn activate_group(&mut self, task_idx: usize, group: u32, ctx: &mut Context<NetMsg>) {
-        let (failed_ip, failed_node, replacement_ip) = {
+    fn activate_group(&mut self, task_idx: usize, ctx: &mut Context<NetMsg>) {
+        let (failed_ip, failed_node, replacement_ip, redirect, block) = {
             let task = &self.tasks[task_idx];
-            (task.failed_ip, task.failed_node, task.replacement_ip)
+            let step = &task.plan.steps[task.current];
+            (
+                task.plan.failed_ip,
+                task.failed_node,
+                task.plan.replacement_ip,
+                step.redirect,
+                step.block,
+            )
         };
-        let modulus = self.recovery_modulus();
         // Phase 2: activate the replacement for this group and redirect
         // traffic to it, overriding both the block rule and fast failover.
+        // The session is consumed per activated group unconditionally, to
+        // keep the sequence identical across executors (see fast_failover).
+        let session = self.next_session;
+        self.next_session += 1;
         if let Some(node) = self.addr.node_of(replacement_ip) {
             ctx.send_control(
                 node,
                 NetMsg::Control(ControlMsg::SetActive { active: true }),
                 self.config.control_latency,
             );
-            let session = self.next_session;
-            self.next_session += 1;
             ctx.send_control(
                 node,
                 NetMsg::Control(ControlMsg::SetSession { session }),
@@ -348,22 +309,13 @@ impl Controller {
             );
         }
         for neighbor in self.neighbors_of(failed_node) {
-            self.send_rule(
-                ctx,
-                neighbor,
-                failed_ip,
-                FailoverRule {
-                    priority: 3,
-                    scope: RuleScope::Group { group, modulus },
-                    action: FailoverAction::Redirect(replacement_ip),
-                },
-            );
+            self.send_rule(ctx, neighbor, failed_ip, redirect);
             ctx.send_control(
                 neighbor,
                 NetMsg::Control(ControlMsg::RemoveRule {
                     failed_ip,
-                    priority: 2,
-                    scope: RuleScope::Group { group, modulus },
+                    priority: block.priority,
+                    scope: block.scope,
                 }),
                 self.config.control_latency,
             );
@@ -371,14 +323,14 @@ impl Controller {
         // Advance to the next group or finish.
         let task = &mut self.tasks[task_idx];
         task.current += 1;
-        if task.current < task.groups.len() {
+        if task.current < task.plan.steps.len() {
             self.start_group_sync(task_idx, ctx);
         } else {
             task.phase = RecoveryPhase::Complete;
             let record = RecoveryRecord {
                 failed_ip,
                 replacement_ip,
-                groups_recovered: self.tasks[task_idx].groups.len(),
+                groups_recovered: self.tasks[task_idx].plan.steps.len(),
                 failover_at: self
                     .pending_failover_at
                     .get(&failed_ip)
@@ -397,11 +349,10 @@ impl Node<NetMsg> for Controller {
             return;
         };
         let task_idx = (token >> 32) as usize;
-        let group = (token & 0xffff_ffff) as u32;
         if task_idx >= self.tasks.len() {
             return;
         }
-        let replacement_ip = self.tasks[task_idx].replacement_ip;
+        let replacement_ip = self.tasks[task_idx].plan.replacement_ip;
         if let Some(node) = self.addr.node_of(replacement_ip) {
             ctx.send_control(
                 node,
@@ -409,7 +360,16 @@ impl Node<NetMsg> for Controller {
                 self.config.control_latency,
             );
         }
-        self.activate_group(task_idx, group, ctx);
+        // Activate only once every donor has answered.
+        let remaining = self
+            .pending_exports
+            .get_mut(&task_idx)
+            .expect("an export response implies an outstanding request");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.pending_exports.remove(&task_idx);
+            self.activate_group(task_idx, ctx);
+        }
     }
 
     fn on_node_down(&mut self, node: NodeId, ctx: &mut Context<NetMsg>) {
@@ -430,18 +390,19 @@ impl Node<NetMsg> for Controller {
         let Some(replacement_ip) = self.pick_replacement(failed_ip) else {
             return;
         };
-        let groups = match self.config.recovery_groups {
-            Some(g) => (0..g.max(1)).collect(),
-            None => self.ring.groups_involving(failed_ip),
-        };
-        if groups.is_empty() {
+        let plan = RecoveryPlan::compute(
+            &self.ring,
+            failed_ip,
+            replacement_ip,
+            self.config.recovery_groups,
+            &self.failed,
+        );
+        if plan.steps.is_empty() {
             return;
         }
         let task = RecoveryTask {
-            failed_ip,
             failed_node: node,
-            replacement_ip,
-            groups,
+            plan,
             current: 0,
             phase: RecoveryPhase::WaitingToStart,
         };

@@ -1,0 +1,285 @@
+//! Pure failover/recovery *planning*: what rules to install where, which
+//! switches need session bumps, and the per-group two-phase repair steps —
+//! as data, with no opinion about how the plan is delivered.
+//!
+//! Both halves of the repo's control plane execute these plans:
+//!
+//! * the simulated [`crate::controller::Controller`] delivers them as
+//!   control-plane RPCs over the discrete-event network, and
+//! * the live fabric controller (`netchain-livectl`) delivers them over the
+//!   lock-free per-shard control channels of the multi-core fabric.
+//!
+//! Sharing the planner is what makes the live/simulated differential test
+//! meaningful: the two executions install byte-identical rules and assign
+//! identical session numbers, so any divergence in the resulting replies or
+//! switch state is a real semantic divergence, not a planning artefact.
+//!
+//! Determinism matters here. Session numbers are assigned in plan order, so
+//! the order of `new_heads` must not depend on hash-map iteration; the
+//! planner sorts every set it derives.
+
+use crate::hashring::HashRing;
+use netchain_switch::{FailoverAction, FailoverRule, RuleScope};
+use netchain_wire::Ipv4Addr;
+use std::collections::HashSet;
+
+/// Algorithm 2 (fast failover), as data: the rule every neighbour of the
+/// failed switch installs, plus the switches that just became chain heads
+/// and therefore need a session bump (§5.2, NOPaxos-style ordering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverPlan {
+    /// The failed switch the plan handles.
+    pub failed_ip: Ipv4Addr,
+    /// The rule to install at every neighbour of the failed switch (in the
+    /// fabric, at every live switch — each shard sees all traffic for its
+    /// keys, so "all live switches" is exactly "every neighbour programmed").
+    pub rule: FailoverRule,
+    /// Switches that became the head of at least one affected chain, in
+    /// deterministic (sorted) order: `new_heads[i]` is assigned session
+    /// `base_session + i` by the executor.
+    pub new_heads: Vec<Ipv4Addr>,
+}
+
+impl FailoverPlan {
+    /// Plans fast failover for `failed_ip` over `ring`.
+    pub fn compute(ring: &HashRing, failed_ip: Ipv4Addr) -> Self {
+        let mut new_heads: Vec<Ipv4Addr> = Vec::new();
+        let mut seen: HashSet<Ipv4Addr> = HashSet::new();
+        for &group in &ring.groups_involving(failed_ip) {
+            let chain = ring.chain_for_group(group);
+            if chain.head() == failed_ip {
+                if let Some(successor) = chain.successor(failed_ip) {
+                    if seen.insert(successor) {
+                        new_heads.push(successor);
+                    }
+                }
+            }
+        }
+        new_heads.sort();
+        FailoverPlan {
+            failed_ip,
+            rule: FailoverRule {
+                priority: 1,
+                scope: RuleScope::All,
+                action: FailoverAction::ChainFailover,
+            },
+            new_heads,
+        }
+    }
+}
+
+/// One virtual group's two-phase repair (Algorithm 3): block its traffic to
+/// the failed switch, synchronise its state onto the replacement, then
+/// activate the replacement with a redirect rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupRepair {
+    /// The virtual group being repaired.
+    pub group: u32,
+    /// Phase 1: the block rule (priority 2, group-scoped).
+    pub block: FailoverRule,
+    /// The switches whose state is gathered for this group: every live ring
+    /// switch other than the failed one and the replacement, in sorted
+    /// (deterministic) order. The replacement imports the *union*; the
+    /// per-key `(session, seq)` registers arbitrate, so the chain-suffix
+    /// copy — the committed one — always wins. A group's keys can span many
+    /// chains (especially with a coarse [`RecoveryPlan::modulus`] override),
+    /// so a single per-chain donor would silently miss keys whose chain does
+    /// not pass through it.
+    pub donors: Vec<Ipv4Addr>,
+    /// Phase 2: the redirect rule (priority 3, group-scoped) pointing at the
+    /// replacement.
+    pub redirect: FailoverRule,
+}
+
+/// Algorithm 3 (failure recovery), as data: the replacement switch and the
+/// ordered per-group repair steps. Session numbers continue the failover
+/// plan's sequence: the replacement is bumped once per activated group, in
+/// step order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryPlan {
+    /// The failed switch being replaced.
+    pub failed_ip: Ipv4Addr,
+    /// The switch absorbing the failed switch's virtual groups.
+    pub replacement_ip: Ipv4Addr,
+    /// The group modulus the rules are scoped by (the ring's virtual-node
+    /// count, or the experiment's override).
+    pub modulus: u32,
+    /// Per-group repair steps, in execution order.
+    pub steps: Vec<GroupRepair>,
+}
+
+impl RecoveryPlan {
+    /// Plans recovery of `failed_ip` onto `replacement_ip`. `failed` is the
+    /// full set of switches currently believed down (they cannot donate
+    /// state).
+    ///
+    /// `recovery_groups` overrides the virtual-group granularity: `None`
+    /// repairs the groups actually involving the failed switch at the ring's
+    /// own granularity (the normal case); `Some(g)` repairs the whole key
+    /// space in `g` equal hash groups, which is how the Figure 10 experiment
+    /// compares "1 virtual group" against "100 virtual groups".
+    pub fn compute(
+        ring: &HashRing,
+        failed_ip: Ipv4Addr,
+        replacement_ip: Ipv4Addr,
+        recovery_groups: Option<u32>,
+        failed: &HashSet<Ipv4Addr>,
+    ) -> Self {
+        let modulus = recovery_groups
+            .unwrap_or(ring.num_virtual_nodes() as u32)
+            .max(1);
+        let groups: Vec<u32> = match recovery_groups {
+            Some(g) => (0..g.max(1)).collect(),
+            None => ring.groups_involving(failed_ip),
+        };
+        let mut donors: Vec<Ipv4Addr> = ring
+            .switches()
+            .iter()
+            .copied()
+            .filter(|&ip| ip != failed_ip && ip != replacement_ip && !failed.contains(&ip))
+            .collect();
+        donors.sort();
+        let steps = groups
+            .into_iter()
+            .map(|group| GroupRepair {
+                group,
+                block: FailoverRule {
+                    priority: 2,
+                    scope: RuleScope::Group { group, modulus },
+                    action: FailoverAction::Block,
+                },
+                donors: donors.clone(),
+                redirect: FailoverRule {
+                    priority: 3,
+                    scope: RuleScope::Group { group, modulus },
+                    action: FailoverAction::Redirect(replacement_ip),
+                },
+            })
+            .collect();
+        RecoveryPlan {
+            failed_ip,
+            replacement_ip,
+            modulus,
+            steps,
+        }
+    }
+}
+
+/// Picks the replacement switch for `failed_ip`: the explicit choice if one
+/// was configured, else a live switch not already in the affected chains (to
+/// spread load), else any live switch.
+pub fn pick_replacement(
+    ring: &HashRing,
+    failed_ip: Ipv4Addr,
+    failed: &HashSet<Ipv4Addr>,
+    explicit: Option<Ipv4Addr>,
+) -> Option<Ipv4Addr> {
+    if let Some(explicit) = explicit {
+        return Some(explicit);
+    }
+    let affected: HashSet<Ipv4Addr> = ring
+        .groups_involving(failed_ip)
+        .iter()
+        .flat_map(|&g| ring.chain_for_group(g).switches)
+        .collect();
+    let live: Vec<Ipv4Addr> = ring
+        .switches()
+        .iter()
+        .copied()
+        .filter(|ip| !failed.contains(ip))
+        .collect();
+    live.iter()
+        .copied()
+        .find(|ip| !affected.contains(ip))
+        .or_else(|| live.first().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> HashRing {
+        HashRing::new((0..4).map(Ipv4Addr::for_switch).collect(), 25, 3, 11)
+    }
+
+    #[test]
+    fn failover_plan_is_deterministic_and_sorted() {
+        let ring = ring();
+        let failed = Ipv4Addr::for_switch(1);
+        let a = FailoverPlan::compute(&ring, failed);
+        let b = FailoverPlan::compute(&ring, failed);
+        assert_eq!(a, b);
+        let mut sorted = a.new_heads.clone();
+        sorted.sort();
+        assert_eq!(a.new_heads, sorted);
+        assert!(!a.new_heads.contains(&failed));
+        assert_eq!(a.rule.priority, 1);
+        assert_eq!(a.rule.action, FailoverAction::ChainFailover);
+    }
+
+    #[test]
+    fn recovery_plan_covers_involved_groups_with_donors() {
+        let ring = ring();
+        let failed = Ipv4Addr::for_switch(2);
+        let replacement = Ipv4Addr::for_switch(0);
+        let plan = RecoveryPlan::compute(&ring, failed, replacement, None, &HashSet::new());
+        assert_eq!(plan.modulus, ring.num_virtual_nodes() as u32);
+        assert_eq!(plan.steps.len(), ring.groups_involving(failed).len());
+        for step in &plan.steps {
+            // Every live switch except the failed one and the replacement
+            // donates; the union import lets the version registers arbitrate.
+            assert_eq!(
+                step.donors,
+                vec![Ipv4Addr::for_switch(1), Ipv4Addr::for_switch(3)]
+            );
+            assert_eq!(
+                step.redirect.action,
+                FailoverAction::Redirect(replacement),
+                "redirect must target the replacement"
+            );
+            assert_eq!(
+                step.block.scope,
+                RuleScope::Group {
+                    group: step.group,
+                    modulus: plan.modulus
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_groups_override_partitions_whole_keyspace() {
+        let ring = ring();
+        let failed = Ipv4Addr::for_switch(1);
+        let plan = RecoveryPlan::compute(
+            &ring,
+            failed,
+            Ipv4Addr::for_switch(3),
+            Some(10),
+            &HashSet::from([failed]),
+        );
+        assert_eq!(plan.modulus, 10);
+        let groups: Vec<u32> = plan.steps.iter().map(|s| s.group).collect();
+        assert_eq!(groups, (0..10).collect::<Vec<u32>>());
+        for step in &plan.steps {
+            assert!(!step.donors.contains(&failed));
+            assert!(!step.donors.contains(&Ipv4Addr::for_switch(3)));
+        }
+    }
+
+    #[test]
+    fn replacement_picking_prefers_explicit_then_unaffected() {
+        let ring = ring();
+        let failed = Ipv4Addr::for_switch(1);
+        let explicit = pick_replacement(
+            &ring,
+            failed,
+            &HashSet::new(),
+            Some(Ipv4Addr::for_switch(9)),
+        );
+        assert_eq!(explicit, Some(Ipv4Addr::for_switch(9)));
+        let picked = pick_replacement(&ring, failed, &HashSet::from([failed]), None)
+            .expect("live switches remain");
+        assert_ne!(picked, failed);
+    }
+}

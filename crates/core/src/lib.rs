@@ -30,6 +30,7 @@ pub mod client;
 pub mod cluster;
 pub mod controller;
 pub mod directory;
+pub mod failplan;
 pub mod hashring;
 pub mod message;
 pub mod switch_node;
@@ -40,6 +41,7 @@ pub use client::{ScriptedClient, WorkloadClient, WorkloadConfig};
 pub use cluster::{ClusterConfig, ClusterLayout, NetChainCluster};
 pub use controller::{Controller, ControllerConfig};
 pub use directory::{AddressMap, ChainDirectory};
+pub use failplan::{FailoverPlan, GroupRepair, RecoveryPlan};
 pub use hashring::{ChainDescriptor, HashRing};
 pub use message::{ControlMsg, NetMsg};
 pub use switch_node::SwitchNode;

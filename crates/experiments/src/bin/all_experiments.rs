@@ -1,5 +1,5 @@
 //! Runs every table/figure reproduction in sequence (several minutes).
-use netchain_experiments::{fabric_scale, fig10, fig11, fig9, print_series, table1};
+use netchain_experiments::{fabric_scale, failover_live, fig10, fig11, fig9, print_series, table1};
 use netchain_sim::SimDuration;
 fn main() {
     table1::print_table1();
@@ -76,4 +76,12 @@ fn main() {
         "ops/sec",
         &fabric_scale::throughput_vs_chain_length(params, 4, &[1, 2, 3, 4, 5]),
     );
+    print_series(
+        "Fabric vs server baseline (measured, same load generator)",
+        "workers (shards / servers)",
+        "ops/sec",
+        &fabric_scale::fabric_vs_baseline(params, &[1, 2, 4]),
+    );
+    // The live failover run (measured Figure 10 analogue).
+    failover_live::run_cli(false);
 }

@@ -17,4 +17,10 @@ fn main() {
         "ops/sec",
         &fabric_scale::throughput_vs_chain_length(params, 4, &[1, 2, 3, 4, 5]),
     );
+    print_series(
+        "Fabric vs server baseline (measured, same load generator)",
+        "workers (shards / servers)",
+        "ops/sec",
+        &fabric_scale::fabric_vs_baseline(params, &[1, 2, 4, 8]),
+    );
 }

@@ -1,0 +1,10 @@
+//! Measured live failover: kills a switch inside the running multi-core
+//! fabric, fails over, repairs the chains group by group, and prints the
+//! throughput-vs-time series — the live analogue of Figure 10.
+//!
+//! `--smoke` runs a sub-second configuration (CI).
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    netchain_experiments::failover_live::run_cli(smoke);
+}

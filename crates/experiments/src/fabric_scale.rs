@@ -12,7 +12,10 @@
 //! with fewer cores than shards.
 
 use crate::series::Series;
-use netchain_fabric::{run_capacity, FabricConfig, WorkloadSpec};
+use netchain_baseline::message::{ZkOp, ZkStore};
+use netchain_core::KvOp;
+use netchain_fabric::{run_capacity, ClientState, FabricConfig, WorkloadSpec};
+use std::time::{Duration, Instant};
 
 /// Workload shape shared by both scale sweeps.
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +90,124 @@ pub fn throughput_vs_chain_length(
     ]
 }
 
+/// Measured capacity of a ZooKeeper-style server ensemble (the
+/// `netchain-baseline` replication structure: reads served by the contacted
+/// server, writes serialized through the leader and applied by every
+/// replica) driven by the **same** load generator and op stream as the
+/// fabric runs, under the same one-core-per-worker capacity methodology as
+/// [`run_capacity`].
+///
+/// What is and is not measured: the real data-structure work of every
+/// replica (the `ZkStore` the baseline servers execute) is timed; the
+/// kernel/network-stack and fsync costs that dominate a production
+/// ZooKeeper are *not* — the simulator (`zk` module) models those from the
+/// paper's calibration. The honest measured claim is therefore structural:
+/// the baseline's writes funnel through one leader and do not scale with
+/// servers, while the fabric's chains are keyspace-sharded and do.
+pub fn baseline_capacity(
+    params: FabricScaleParams,
+    num_servers: usize,
+    read_pct: u8,
+    write_pct: u8,
+) -> f64 {
+    assert!(num_servers > 0);
+    // The same sampler (same seed, same mix) the fabric's clients draw from.
+    let config = FabricConfig::new(1);
+    let ring = config.build_ring();
+    let spec = WorkloadSpec::mixed(params.num_keys, params.ops, read_pct, write_pct);
+    let mut client = ClientState::new(0, &ring, spec);
+
+    let mut stores: Vec<ZkStore> = (0..num_servers).map(|_| ZkStore::new()).collect();
+    for store in &mut stores {
+        for k in 0..params.num_keys {
+            store.apply(&ZkOp::Write {
+                key: k,
+                value: 0u64.to_be_bytes().to_vec(),
+            });
+        }
+    }
+
+    // Partition the op stream (untimed, like run_capacity's generation):
+    // reads round-robin over the servers clients are attached to; every
+    // mutation becomes a leader-sequenced proposal applied by all replicas.
+    let mut reads: Vec<Vec<ZkOp>> = (0..num_servers).map(|_| Vec::new()).collect();
+    let mut proposals: Vec<ZkOp> = Vec::new();
+    for i in 0..params.ops {
+        match client.sample_op() {
+            KvOp::Read(k) => reads[i as usize % num_servers].push(ZkOp::Read { key: k.low_u64() }),
+            KvOp::Write(k, v) => proposals.push(ZkOp::Write {
+                key: k.low_u64(),
+                value: v.as_bytes().to_vec(),
+            }),
+            // The ZooKeeper lock idiom: CAS-acquire ≈ ephemeral-node create.
+            KvOp::Cas { key, new, .. } => proposals.push(ZkOp::Create {
+                key: key.low_u64(),
+                owner: new,
+            }),
+            KvOp::Delete(k) => proposals.push(ZkOp::Delete { key: k.low_u64() }),
+        }
+    }
+
+    // Timed work, chunked per server like the fabric's bursts: local reads
+    // on each server, then the write stream — once through the leader
+    // (sequencing + apply) and once through every follower (proposal
+    // application).
+    let mut busy = vec![Duration::ZERO; num_servers];
+    for (s, server_reads) in reads.iter().enumerate() {
+        let t0 = Instant::now();
+        for op in server_reads {
+            std::hint::black_box(stores[s].apply(op));
+        }
+        busy[s] += t0.elapsed();
+    }
+    let mut zxid = 0u64;
+    let t0 = Instant::now();
+    for op in &proposals {
+        zxid += 1;
+        std::hint::black_box(stores[0].apply(op));
+    }
+    busy[0] += t0.elapsed();
+    std::hint::black_box(zxid);
+    for (s, store) in stores.iter_mut().enumerate().skip(1) {
+        let t0 = Instant::now();
+        for op in &proposals {
+            std::hint::black_box(store.apply(op));
+        }
+        busy[s] += t0.elapsed();
+    }
+
+    let makespan = busy
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or_default()
+        .as_secs_f64()
+        .max(1e-12);
+    params.ops as f64 / makespan
+}
+
+/// The measured NetChain-vs-baseline comparison the ROADMAP asks for: both
+/// systems' software incarnations, the same load generator, the same mixed
+/// workload (50% read / 40% write / 10% CAS), the same one-core-per-worker
+/// aggregation — aggregate ops/sec versus worker count (fabric shards vs
+/// baseline servers, with a matching replica count).
+pub fn fabric_vs_baseline(params: FabricScaleParams, worker_counts: &[usize]) -> Vec<Series> {
+    let mut fabric_points = Vec::new();
+    let mut baseline_points = Vec::new();
+    for &workers in worker_counts {
+        let fabric = run_capacity(
+            FabricConfig::new(workers),
+            WorkloadSpec::mixed(params.num_keys, params.ops, 50, 40),
+        );
+        fabric_points.push((workers as f64, fabric.aggregate_ops_per_sec));
+        baseline_points.push((workers as f64, baseline_capacity(params, workers, 50, 40)));
+    }
+    vec![
+        Series::new("netchain fabric (chain f+1=3)", fabric_points),
+        Series::new("server baseline (leader + replicas)", baseline_points),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +232,16 @@ mod tests {
     #[test]
     fn chain_sweep_covers_every_length() {
         let series = throughput_vs_chain_length(small(), 2, &[1, 3]);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+            assert!(s.points.iter().all(|&(_, y)| y > 0.0), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn baseline_comparison_produces_positive_measured_points() {
+        let series = fabric_vs_baseline(small(), &[1, 2]);
         assert_eq!(series.len(), 2);
         for s in &series {
             assert_eq!(s.points.len(), 2);

@@ -35,6 +35,7 @@
 pub mod calib;
 pub mod capacity;
 pub mod fabric_scale;
+pub mod failover_live;
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;

@@ -41,6 +41,9 @@ pub struct FabricConfig {
     pub num_clients: usize,
     /// Switches on the consistent-hash ring.
     pub num_switches: usize,
+    /// Spare switches hosted by every shard but held *out* of the ring, as
+    /// replacements for failure recovery (the testbed experiment's S3).
+    pub num_spares: usize,
     /// Virtual nodes per switch.
     pub vnodes_per_switch: usize,
     /// Chain length (`f + 1`).
@@ -61,6 +64,7 @@ impl FabricConfig {
             num_shards,
             num_clients: 1,
             num_switches: 8,
+            num_spares: 0,
             vnodes_per_switch: 16,
             replication: 3,
             ring_seed: 7,
@@ -79,6 +83,19 @@ impl FabricConfig {
     pub fn with_clients(mut self, num_clients: usize) -> Self {
         self.num_clients = num_clients;
         self
+    }
+
+    /// Returns a copy with the given number of spare (out-of-ring) switches.
+    pub fn with_spares(mut self, num_spares: usize) -> Self {
+        self.num_spares = num_spares;
+        self
+    }
+
+    /// The spare switch IPs (numbered after the ring switches).
+    pub fn spare_ips(&self) -> Vec<Ipv4Addr> {
+        (self.num_switches..self.num_switches + self.num_spares)
+            .map(|i| Ipv4Addr::for_switch(i as u32))
+            .collect()
     }
 
     /// The consistent-hash ring this fabric serves.
@@ -115,8 +132,9 @@ impl FabricConfig {
 pub fn build_shards(config: &FabricConfig, workload: &WorkloadSpec) -> Vec<Shard> {
     let ring = config.build_ring();
     let pipeline = FabricConfig::pipeline_for(workload.num_keys);
+    let spares = config.spare_ips();
     let mut shards: Vec<Shard> = (0..config.num_shards)
-        .map(|i| Shard::new(i, config.num_shards, ring.clone(), pipeline))
+        .map(|i| Shard::with_spares(i, config.num_shards, ring.clone(), pipeline, &spares))
         .collect();
     for k in 0..workload.num_keys {
         let key = Key::from_u64(k);

@@ -15,6 +15,11 @@ use netchain_wire::{Ipv4Addr, Key, NetChainPacket, PacketView, QueryStatus, Valu
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// Packets a retry poll wants retransmitted, returned by
+/// [`ClientState::poll_retries_at`]. Queries the same poll abandoned are
+/// visible in the report's `abandoned` counter.
+pub type RetryBatch = Vec<NetChainPacket>;
+
 /// The operation mix and intensity of a workload.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkloadSpec {
@@ -74,6 +79,18 @@ impl ClientState {
     /// Creates client `id` issuing ops over `ring`'s chains.
     pub fn new(id: u32, ring: &HashRing, spec: WorkloadSpec) -> Self {
         let config = AgentConfig::new(Ipv4Addr::for_host(id));
+        Self::with_agent_config(id, ring, spec, config)
+    }
+
+    /// Like [`ClientState::new`], with an explicit agent configuration
+    /// (live-controlled runs tune the retransmission timeout and retry
+    /// budget, which the failure-free fabric never exercises).
+    pub fn with_agent_config(
+        id: u32,
+        ring: &HashRing,
+        spec: WorkloadSpec,
+        config: AgentConfig,
+    ) -> Self {
         let directory = ChainDirectory::new(ring.clone());
         ClientState {
             id,
@@ -96,6 +113,8 @@ impl ClientState {
     pub fn report(&self) -> ClientReport {
         ClientReport {
             version_regressions: self.agent.stats().version_regressions,
+            retries: self.agent.stats().retries,
+            abandoned: self.agent.stats().abandoned,
             ..self.report
         }
     }
@@ -116,7 +135,10 @@ impl ClientState {
         self.agent.outstanding() < self.spec.window && self.report.issued < self.spec.ops_per_client
     }
 
-    fn sample_op(&mut self) -> KvOp {
+    /// Samples the next operation of the workload mix. Public so other
+    /// harnesses (the measured server baseline, the live failover runner)
+    /// can draw from the *same* op stream the fabric is driven with.
+    pub fn sample_op(&mut self) -> KvOp {
         let key = Key::from_u64(self.rng.gen_range(0..self.spec.num_keys));
         let dice: u8 = self.rng.gen_range(0..100u8);
         if dice < self.spec.read_pct {
@@ -151,6 +173,37 @@ impl ClientState {
         pkt
     }
 
+    /// Issues the next query stamped with a caller-supplied clock (wall-clock
+    /// nanoseconds since the run started, in live-controlled runs). The
+    /// caller must use the timed API consistently: mixing it with the
+    /// logical-clock [`ClientState::issue`] would confuse the retry timers.
+    pub fn issue_at(&mut self, now: SimTime) -> NetChainPacket {
+        debug_assert!(self.can_issue());
+        let op = self.sample_op();
+        let (_, pkt) = self.agent.begin(now, op);
+        self.report.issued += 1;
+        pkt
+    }
+
+    /// Consumes one serialized reply frame at a caller-supplied clock;
+    /// returns `true` if it matched an outstanding query.
+    pub fn absorb_reply_at(&mut self, now: SimTime, frame: &[u8]) -> bool {
+        let Ok(view) = PacketView::parse(frame) else {
+            return false;
+        };
+        let pkt = view.to_owned();
+        self.absorb_packet(now, &pkt)
+    }
+
+    /// Checks outstanding queries against the retransmission timeout,
+    /// returning the packets to retransmit. Queries past their retry budget
+    /// are abandoned (they reopen the window and show up in the report's
+    /// `abandoned` counter — which must stay zero in healthy runs — but are
+    /// *not* counted as completed: `completed` means a matched reply).
+    pub fn poll_retries_at(&mut self, now: SimTime) -> RetryBatch {
+        self.agent.poll_retries(now).retransmit
+    }
+
     /// Consumes one serialized reply frame; returns `true` if it matched an
     /// outstanding query.
     pub fn absorb_reply(&mut self, frame: &[u8]) -> bool {
@@ -159,7 +212,12 @@ impl ClientState {
         };
         let pkt = view.to_owned();
         self.clock += 1;
-        match self.agent.on_reply(SimTime(self.clock), &pkt) {
+        let now = SimTime(self.clock);
+        self.absorb_packet(now, &pkt)
+    }
+
+    fn absorb_packet(&mut self, now: SimTime, pkt: &netchain_wire::NetChainPacket) -> bool {
+        match self.agent.on_reply(now, pkt) {
             Some(done) => {
                 self.report.completed += 1;
                 match done.status {

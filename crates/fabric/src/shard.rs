@@ -16,12 +16,48 @@
 //! to [`NetChainSwitch::step_batch`] together, keeping that switch's tables
 //! hot while the burst flows through the chain stage by stage, like a
 //! hardware pipeline.
+//!
+//! ## Control plane hooks
+//!
+//! The live control plane (`netchain-livectl`) programs a shard between
+//! bursts exactly the way the paper's controller programs switches:
+//!
+//! * [`Shard::kill_switch`] is the fault injector's hook — the replica stops
+//!   being addressable, freezing its state like a fail-stopped device.
+//! * [`Shard::install_rule`] / [`Shard::remove_rule`] install failover /
+//!   recovery rules into **every live switch replica**. In the physical
+//!   network the controller programs the failed switch's *neighbours*; in the
+//!   fabric every live switch is a potential neighbour (chains hop directly
+//!   from switch to switch), so programming all of them is the same thing.
+//! * Packets addressed to a failed (or simply absent) switch are routed
+//!   through the shard's *gateway* — the lowest-IP live active switch, which
+//!   plays the role of the client's ToR switch in the testbed: its rule table
+//!   decides whether the packet fails over, blocks, or redirects. Without a
+//!   matching rule the packet is dropped and counted `unroutable`, exactly
+//!   like a packet sailing towards a dead device in the simulator.
+//! * [`Shard::export_group`] / [`Shard::import_entries`] move register state
+//!   between switch replicas for the two-phase chain repair, with the same
+//!   group filtering the simulator's switch agent applies.
+//!
+//! ## The packet pool
+//!
+//! Parsing recycles [`NetChainPacket`] buffers through a small pool
+//! ([`PacketView::to_owned_into`]): the chain list and value vectors of a
+//! retired packet are refilled in place for the next frame, removing the
+//! last per-packet allocation on the write path (reads never allocated).
 
 use crate::stats::ShardStats;
 use netchain_core::HashRing;
-use netchain_switch::{NetChainSwitch, PipelineConfig, SwitchAction};
+use netchain_switch::kv::ExportedEntry;
+use netchain_switch::{
+    DropReason, FailoverRule, NetChainSwitch, PipelineConfig, RuleScope, SwitchAction,
+};
 use netchain_wire::{BatchEncoder, Ipv4Addr, Key, NetChainPacket, PacketView, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// Retired packets kept for reuse. A burst in flight needs at most `burst`
+/// packets plus the replies being encoded, so this is generous.
+const POOL_MAX: usize = 256;
 
 /// The steering rule, in one place: `key`'s virtual group modulo the shard
 /// count. Everything that partitions by key — shard ownership, client
@@ -41,28 +77,49 @@ pub fn client_id_of(ip: Ipv4Addr) -> Option<u32> {
     }
 }
 
-/// One keyspace shard hosting shard-local replicas of every ring switch.
+/// One keyspace shard hosting shard-local replicas of every ring switch
+/// (plus any spares held out of the ring for failure recovery).
 pub struct Shard {
     id: usize,
     num_shards: usize,
     ring: HashRing,
     switches: HashMap<Ipv4Addr, NetChainSwitch>,
+    /// Switches the fault injector killed: no longer addressable; their
+    /// replica state is frozen as of the kill (fail-stop).
+    failed: HashSet<Ipv4Addr>,
     stats: ShardStats,
     /// Scratch: the current wave of in-flight packets (reused across bursts).
     wave: Vec<NetChainPacket>,
     next_wave: Vec<NetChainPacket>,
     group: Vec<NetChainPacket>,
     actions: Vec<SwitchAction>,
+    /// Retired packets whose allocations the parse path reuses.
+    pool: Vec<NetChainPacket>,
 }
 
 impl Shard {
     /// Creates shard `id` of `num_shards` over the given ring, with one
     /// switch instance per ring member.
     pub fn new(id: usize, num_shards: usize, ring: HashRing, pipeline: PipelineConfig) -> Self {
+        Self::with_spares(id, num_shards, ring, pipeline, &[])
+    }
+
+    /// Like [`Shard::new`], but also hosting `spares`: switches outside the
+    /// consistent-hash ring, held in reserve as recovery replacements. They
+    /// start empty and receive no traffic until a redirect rule points at
+    /// them.
+    pub fn with_spares(
+        id: usize,
+        num_shards: usize,
+        ring: HashRing,
+        pipeline: PipelineConfig,
+        spares: &[Ipv4Addr],
+    ) -> Self {
         assert!(num_shards > 0 && id < num_shards);
-        let switches = ring
+        let switches: HashMap<Ipv4Addr, NetChainSwitch> = ring
             .switches()
             .iter()
+            .chain(spares.iter())
             .map(|&ip| (ip, NetChainSwitch::new(ip, pipeline)))
             .collect();
         Shard {
@@ -70,11 +127,13 @@ impl Shard {
             num_shards,
             ring,
             switches,
+            failed: HashSet::new(),
             stats: ShardStats::default(),
             wave: Vec::new(),
             next_wave: Vec::new(),
             group: Vec::new(),
             actions: Vec::new(),
+            pool: Vec::new(),
         }
     }
 
@@ -118,13 +177,100 @@ impl Shard {
         self.switches.keys().copied()
     }
 
+    // ---- Control-plane hooks (the live controller's verbs) ----
+
+    /// Fail-stops a switch replica: it stops being addressable and its state
+    /// freezes. Queries towards it fall to the gateway's rule table (or are
+    /// dropped as unroutable until rules arrive).
+    pub fn kill_switch(&mut self, ip: Ipv4Addr) {
+        self.failed.insert(ip);
+    }
+
+    /// True if the fault injector killed `ip` on this shard.
+    pub fn is_failed(&self, ip: Ipv4Addr) -> bool {
+        self.failed.contains(&ip)
+    }
+
+    /// Installs a failover/recovery rule for traffic destined to `failed_ip`
+    /// into every live switch replica (= every potential neighbour of the
+    /// failed switch; see the module docs).
+    pub fn install_rule(&mut self, failed_ip: Ipv4Addr, rule: FailoverRule) {
+        for (&ip, switch) in self.switches.iter_mut() {
+            if !self.failed.contains(&ip) {
+                switch.forwarding_mut().install(failed_ip, rule);
+            }
+        }
+    }
+
+    /// Removes a rule (matched by priority and scope) from every replica.
+    pub fn remove_rule(&mut self, failed_ip: Ipv4Addr, priority: u8, scope: RuleScope) {
+        for switch in self.switches.values_mut() {
+            switch.forwarding_mut().remove(failed_ip, priority, scope);
+        }
+    }
+
+    /// Sets the session number switch `ip` stamps on writes it sequences
+    /// (head replacement, §5.2).
+    pub fn set_session(&mut self, ip: Ipv4Addr, session: u64) {
+        if let Some(switch) = self.switches.get_mut(&ip) {
+            switch.set_session(session);
+        }
+    }
+
+    /// Activates or deactivates query processing on switch `ip` (recovery
+    /// phase 2 activates the replacement).
+    pub fn set_active(&mut self, ip: Ipv4Addr, active: bool) {
+        if let Some(switch) = self.switches.get_mut(&ip) {
+            switch.set_active(active);
+        }
+    }
+
+    /// Exports switch `ip`'s entries for virtual group `group` (out of
+    /// `modulus` groups) — the donor side of chain repair. The filter is
+    /// identical to the simulator switch agent's `ExportRequest` handling.
+    pub fn export_group(&self, ip: Ipv4Addr, group: u32, modulus: u32) -> Vec<ExportedEntry> {
+        let Some(switch) = self.switches.get(&ip) else {
+            return Vec::new();
+        };
+        switch
+            .kv()
+            .export_entries()
+            .into_iter()
+            .filter(|entry| (entry.key.stable_hash() % u64::from(modulus.max(1))) as u32 == group)
+            .collect()
+    }
+
+    /// Imports entries into switch `ip`'s store — the replacement side of
+    /// chain repair. Stale entries never clobber newer local state
+    /// (Invariant 1 is preserved if synchronisation races a live write).
+    pub fn import_entries(&mut self, ip: Ipv4Addr, entries: &[ExportedEntry]) {
+        if let Some(switch) = self.switches.get_mut(&ip) {
+            for entry in entries {
+                let _ = switch.kv_mut().import_entry(entry);
+            }
+        }
+    }
+
+    /// The shard's gateway: the lowest-IP live, active switch. Plays the ToR
+    /// switch's role for packets addressed to a dead device — its rule table
+    /// decides their fate.
+    fn gateway_ip(&self) -> Option<Ipv4Addr> {
+        self.switches
+            .iter()
+            .filter(|(ip, sw)| !self.failed.contains(ip) && sw.is_active())
+            .map(|(&ip, _)| ip)
+            .min()
+    }
+
+    // ---- Data plane ----
+
     /// Processes one burst of ingress frames to completion, encoding every
     /// generated reply into `replies` (in completion order).
     ///
     /// Each frame is parsed with the zero-copy [`PacketView`]; malformed
-    /// frames are counted and skipped. The owned conversion that follows is
-    /// the only per-packet allocation on this path, and for reads (empty
-    /// value, empty chain) it allocates nothing.
+    /// frames are counted and skipped. The owned conversion reuses pooled
+    /// packet buffers ([`PacketView::to_owned_into`]), so in steady state
+    /// this path does not allocate at all — not even for writes.
     pub fn process_burst<'a>(
         &mut self,
         frames: impl Iterator<Item = &'a [u8]>,
@@ -134,7 +280,16 @@ impl Shard {
         for bytes in frames {
             self.stats.frames_in += 1;
             match PacketView::parse(bytes) {
-                Ok(view) => self.wave.push(view.to_owned()),
+                Ok(view) => {
+                    let pkt = match self.pool.pop() {
+                        Some(mut recycled) => {
+                            view.to_owned_into(&mut recycled);
+                            recycled
+                        }
+                        None => view.to_owned(),
+                    };
+                    self.wave.push(pkt);
+                }
                 Err(_) => self.stats.parse_errors += 1,
             }
         }
@@ -156,7 +311,15 @@ impl Shard {
                     self.group
                         .push(iter.next().expect("peek said there is one"));
                 }
-                match self.switches.get_mut(&dst) {
+                let target = if self.failed.contains(&dst) || !self.switches.contains_key(&dst) {
+                    // The destination is dead or absent: hand the run to the
+                    // gateway switch, whose failover rules decide. No gateway
+                    // (everything failed) means the packets are unroutable.
+                    self.gateway_ip()
+                } else {
+                    Some(dst)
+                };
+                match target.and_then(|ip| self.switches.get_mut(&ip)) {
                     Some(sw) => {
                         self.actions.clear();
                         sw.step_batch(self.group.drain(..), &mut self.actions);
@@ -166,20 +329,36 @@ impl Shard {
                                     if p.netchain.op.is_reply() {
                                         self.stats.replies += 1;
                                         replies.push(&p).expect("replies are bounded like queries");
+                                        if self.pool.len() < POOL_MAX {
+                                            self.pool.push(p);
+                                        }
+                                    } else if p.ip.dst == dst && target != Some(dst) {
+                                        // The gateway had no matching rule and
+                                        // passed the packet through unchanged:
+                                        // it would sail to the dead switch.
+                                        self.stats.unroutable += 1;
+                                        if self.pool.len() < POOL_MAX {
+                                            self.pool.push(p);
+                                        }
                                     } else {
                                         self.next_wave.push(p);
                                     }
+                                }
+                                SwitchAction::Drop(DropReason::Blocked) => {
+                                    self.stats.drops += 1;
+                                    self.stats.blocked += 1;
                                 }
                                 SwitchAction::Drop(_) => self.stats.drops += 1,
                             }
                         }
                     }
                     None => {
-                        // Addressed to an IP this shard does not host (only
-                        // possible with failover rules, which the fabric
-                        // does not install yet).
                         self.stats.unroutable += self.group.len() as u64;
-                        self.group.clear();
+                        while let Some(p) = self.group.pop() {
+                            if self.pool.len() < POOL_MAX {
+                                self.pool.push(p);
+                            }
+                        }
                     }
                 }
             }
@@ -194,6 +373,7 @@ impl Shard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netchain_switch::FailoverAction;
     use netchain_wire::{OpCode, QueryStatus};
 
     fn test_ring() -> HashRing {
@@ -216,7 +396,14 @@ mod tests {
                 op,
                 key,
                 value,
-                netchain_wire::ChainList::empty(),
+                netchain_wire::ChainList::new(
+                    chain.switches[..chain.len() - 1]
+                        .iter()
+                        .rev()
+                        .copied()
+                        .collect::<Vec<_>>(),
+                )
+                .unwrap(),
                 request_id,
             )
         } else {
@@ -330,5 +517,135 @@ mod tests {
             let owners = shards.iter().filter(|s| s.owns(&key)).count();
             assert_eq!(owners, 1, "key {k} must have exactly one owner");
         }
+    }
+
+    #[test]
+    fn killed_switch_without_rules_drops_unroutable() {
+        let ring = test_ring();
+        let mut shard = Shard::new(0, 1, ring.clone(), PipelineConfig::tiny(64));
+        let key = Key::from_name("doomed");
+        shard.populate(key, &Value::from_u64(0));
+        let head = ring.chain_for_key(&key).head();
+        shard.kill_switch(head);
+        assert!(shard.is_failed(head));
+        let mut replies = BatchEncoder::new();
+        let write = query_frame(&ring, key, OpCode::Write, Value::from_u64(1), 1);
+        shard.process_burst(std::iter::once(write.as_slice()), &mut replies);
+        assert!(replies.is_empty());
+        assert_eq!(shard.stats().unroutable, 1);
+    }
+
+    #[test]
+    fn failover_rule_routes_around_killed_switch() {
+        let ring = test_ring();
+        let mut shard = Shard::new(0, 1, ring.clone(), PipelineConfig::tiny(64));
+        let key = Key::from_name("survivor");
+        shard.populate(key, &Value::from_u64(0));
+        let chain = ring.chain_for_key(&key);
+        // Kill the middle replica and install fast failover everywhere.
+        let victim = chain.switches[1];
+        shard.kill_switch(victim);
+        shard.install_rule(
+            victim,
+            FailoverRule {
+                priority: 1,
+                scope: RuleScope::All,
+                action: FailoverAction::ChainFailover,
+            },
+        );
+        let mut replies = BatchEncoder::new();
+        let write = query_frame(&ring, key, OpCode::Write, Value::from_u64(7), 1);
+        shard.process_burst(std::iter::once(write.as_slice()), &mut replies);
+        assert_eq!(replies.len(), 1, "write must complete around the failure");
+        let reply = PacketView::parse(replies.frame(0)).unwrap();
+        assert_eq!(reply.netchain.status(), QueryStatus::Ok);
+        // The surviving replicas applied it; the dead one is frozen.
+        for &ip in &chain.switches {
+            let sw = shard.switch(ip).unwrap();
+            let slot = sw.kv().lookup(&key).unwrap();
+            let expected = if ip == victim { 0 } else { 7 };
+            assert_eq!(sw.kv().read_value(slot).as_u64(), Some(expected));
+        }
+        // A read served by the tail still works (tail is alive).
+        replies.clear();
+        let read = query_frame(&ring, key, OpCode::Read, Value::empty(), 2);
+        shard.process_burst(std::iter::once(read.as_slice()), &mut replies);
+        let read_reply = PacketView::parse(replies.frame(0)).unwrap();
+        assert_eq!(read_reply.netchain.value(), 7u64.to_be_bytes());
+        assert_eq!(shard.stats().unroutable, 0);
+    }
+
+    #[test]
+    fn block_rule_drops_and_counts_blocked() {
+        let ring = test_ring();
+        let mut shard = Shard::new(0, 1, ring.clone(), PipelineConfig::tiny(64));
+        let key = Key::from_name("blocked/key");
+        shard.populate(key, &Value::from_u64(0));
+        let head = ring.chain_for_key(&key).head();
+        shard.kill_switch(head);
+        shard.install_rule(
+            head,
+            FailoverRule {
+                priority: 2,
+                scope: RuleScope::All,
+                action: FailoverAction::Block,
+            },
+        );
+        let mut replies = BatchEncoder::new();
+        let write = query_frame(&ring, key, OpCode::Write, Value::from_u64(3), 1);
+        shard.process_burst(std::iter::once(write.as_slice()), &mut replies);
+        assert!(replies.is_empty());
+        assert_eq!(shard.stats().blocked, 1);
+        // Removing the block and falling back to failover unblocks.
+        shard.remove_rule(head, 2, RuleScope::All);
+        shard.install_rule(
+            head,
+            FailoverRule {
+                priority: 1,
+                scope: RuleScope::All,
+                action: FailoverAction::ChainFailover,
+            },
+        );
+        let retry = query_frame(&ring, key, OpCode::Write, Value::from_u64(3), 2);
+        shard.process_burst(std::iter::once(retry.as_slice()), &mut replies);
+        assert_eq!(replies.len(), 1);
+    }
+
+    #[test]
+    fn spare_receives_redirected_traffic_after_import() {
+        let ring = test_ring();
+        let spare = Ipv4Addr::for_switch(9);
+        let mut shard = Shard::with_spares(0, 1, ring.clone(), PipelineConfig::tiny(64), &[spare]);
+        let key = Key::from_name("migrated");
+        shard.populate(key, &Value::from_u64(5));
+        let chain = ring.chain_for_key(&key);
+        let tail = chain.tail();
+        let donor = chain.predecessor(tail).expect("chains of 3");
+        shard.kill_switch(tail);
+        // Repair: copy the group's state from the donor onto the spare, then
+        // redirect the dead tail's traffic to it.
+        let modulus = ring.num_virtual_nodes() as u32;
+        let group = ring.group_of(&key);
+        let entries = shard.export_group(donor, group, modulus);
+        assert!(entries.iter().any(|e| e.key == key));
+        shard.import_entries(spare, &entries);
+        shard.set_session(spare, 9);
+        shard.install_rule(
+            tail,
+            FailoverRule {
+                priority: 3,
+                scope: RuleScope::Group { group, modulus },
+                action: FailoverAction::Redirect(spare),
+            },
+        );
+        let mut replies = BatchEncoder::new();
+        let read = query_frame(&ring, key, OpCode::Read, Value::empty(), 1);
+        shard.process_burst(std::iter::once(read.as_slice()), &mut replies);
+        assert_eq!(replies.len(), 1);
+        let reply = PacketView::parse(replies.frame(0)).unwrap();
+        assert_eq!(reply.netchain.status(), QueryStatus::Ok);
+        assert_eq!(reply.netchain.value(), 5u64.to_be_bytes());
+        // The spare, not the dead tail, answered.
+        assert!(shard.switch(spare).unwrap().stats().reads > 0);
     }
 }

@@ -17,7 +17,12 @@ pub struct ShardStats {
     pub replies: u64,
     /// Packets dropped by the switch program.
     pub drops: u64,
-    /// Packets addressed to a switch this shard does not host.
+    /// Subset of `drops` caused by a recovery *block* rule (Algorithm 3
+    /// phase 1) — the per-group write blocking the Figure 10 analogue
+    /// measures.
+    pub blocked: u64,
+    /// Packets addressed to a switch this shard does not host (or a failed
+    /// switch with no failover rule installed yet).
     pub unroutable: u64,
 }
 
@@ -32,6 +37,12 @@ pub struct ClientReport {
     pub ok: u64,
     /// Replies with `CasFailed` status (expected under CAS contention).
     pub cas_failed: u64,
+    /// Retransmissions sent (live-controlled runs only; the failure-free
+    /// fabric never drops, so this stays zero there).
+    pub retries: u64,
+    /// Queries abandoned after exhausting the retry budget (must stay zero
+    /// in any healthy run, including across failover and repair).
+    pub abandoned: u64,
     /// Replies whose version regressed (must stay zero — the fabric is
     /// strongly consistent per key).
     pub version_regressions: u64,

@@ -1,0 +1,115 @@
+//! Reports for live-controlled runs: the time-sliced throughput series and
+//! the controller's phase timeline.
+
+use netchain_fabric::{ClientReport, ShardStats};
+use std::time::Duration;
+
+/// When each control-plane phase happened, as offsets from run start, plus
+/// the measured rule-installation latency.
+#[derive(Debug, Clone, Default)]
+pub struct FailoverTimeline {
+    /// When the victim was killed on every shard.
+    pub killed_at: Duration,
+    /// When the controller started installing fast-failover rules (kill +
+    /// detection delay).
+    pub failover_started_at: Duration,
+    /// When every shard had acknowledged the fast-failover rules and session
+    /// bumps — the dataplane is rerouting from this instant.
+    pub failover_installed_at: Duration,
+    /// `failover_installed_at - failover_started_at`: the measured failover
+    /// programming time (the paper's sub-millisecond claim, measured here
+    /// against the software fabric's control channel).
+    pub failover_install_time: Duration,
+    /// When chain repair started (first group blocked).
+    pub repair_started_at: Duration,
+    /// When the last group was activated.
+    pub repair_finished_at: Duration,
+    /// Per-group activation instants, in repair order.
+    pub group_activations: Vec<Duration>,
+    /// Number of groups repaired.
+    pub groups_repaired: usize,
+}
+
+/// The result of a live-controlled run.
+#[derive(Debug, Clone, Default)]
+pub struct LiveReport {
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Width of one throughput slice.
+    pub slice: Duration,
+    /// Completed operations per slice, summed over clients (index 0 starts
+    /// at run start).
+    pub slices: Vec<u64>,
+    /// Total operations completed (replies matched).
+    pub completed_ops: u64,
+    /// Aggregate completed operations per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Per-client counters.
+    pub clients: Vec<ClientReport>,
+    /// Per-shard dataplane counters.
+    pub shards: Vec<ShardStats>,
+    /// The controller's phase timeline (present when a fault script ran).
+    pub timeline: Option<FailoverTimeline>,
+}
+
+impl LiveReport {
+    /// The throughput series as `(slice midpoint in seconds, ops/sec)`
+    /// points, ready for `netchain_experiments::Series`.
+    pub fn rate_series(&self) -> Vec<(f64, f64)> {
+        let w = self.slice.as_secs_f64();
+        self.slices
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (w * (i as f64 + 0.5), n as f64 / w))
+            .collect()
+    }
+
+    /// Mean throughput (ops/sec) over `[from, to)` offsets from run start,
+    /// counting only slices that lie entirely inside the window.
+    pub fn mean_rate(&self, from: Duration, to: Duration) -> f64 {
+        let w = self.slice.as_nanos().max(1);
+        let lo = (from.as_nanos().div_ceil(w)) as usize;
+        let hi = ((to.as_nanos() / w) as usize).min(self.slices.len());
+        if lo >= hi {
+            return 0.0;
+        }
+        let total: u64 = self.slices[lo..hi].iter().sum();
+        total as f64 / ((hi - lo) as f64 * self.slice.as_secs_f64())
+    }
+
+    /// Total retransmissions across clients (the visible cost of the dip).
+    pub fn total_retries(&self) -> u64 {
+        self.clients.iter().map(|c| c.retries).sum()
+    }
+
+    /// Total abandoned queries across clients (must be zero in a healthy
+    /// run — every op eventually completes through failover and repair).
+    pub fn total_abandoned(&self) -> u64 {
+        self.clients.iter().map(|c| c.abandoned).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_series_and_window_means() {
+        let report = LiveReport {
+            slice: Duration::from_millis(100),
+            slices: vec![10, 20, 30, 40],
+            ..Default::default()
+        };
+        let series = report.rate_series();
+        assert_eq!(series.len(), 4);
+        assert!((series[0].0 - 0.05).abs() < 1e-9);
+        assert!((series[0].1 - 100.0).abs() < 1e-9);
+        // Slices 1 and 2 average (20 + 30) / 0.2s.
+        let mean = report.mean_rate(Duration::from_millis(100), Duration::from_millis(300));
+        assert!((mean - 250.0).abs() < 1e-9, "{mean}");
+        assert_eq!(
+            report.mean_rate(Duration::from_millis(150), Duration::from_millis(180)),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,556 @@
+//! The live-controlled fabric runner: `run_live` plus a control plane.
+//!
+//! [`run_live_controlled`] spawns the same thread-per-shard / thread-per-
+//! client deployment shape as [`netchain_fabric::run_live`], with three
+//! additions:
+//!
+//! * every shard gets a **control channel** (one SPSC ring per direction) the
+//!   controller thread programs it through, drained between bursts;
+//! * clients are **duration-driven and retrying**: a query the dataplane
+//!   drops (a dead switch before rules arrive, a blocked group during
+//!   repair) is retransmitted after a timeout, exactly like the paper's UDP
+//!   clients, and every completion is bucketed into a **time slice** so the
+//!   run produces a throughput-vs-time series;
+//! * an optional **controller thread** executes a [`FaultScript`] live: kill
+//!   the victim, run Algorithm 2 after the detection delay, then repair the
+//!   chains group by group with two-phase atomic switching — copying real
+//!   register state from donor to replacement through the control channel
+//!   while untouched groups keep serving.
+
+use crate::control::{self, ControlCmd, ControlEvt};
+use crate::report::{FailoverTimeline, LiveReport};
+use crate::script::FaultScript;
+use netchain_core::failplan::{self, FailoverPlan, RecoveryPlan};
+use netchain_core::{AgentConfig, HashRing};
+use netchain_fabric::{
+    build_shards, spsc_ring, ClientState, Consumer, FabricConfig, Frame, Producer, WorkloadSpec,
+};
+use netchain_sim::{SimDuration, SimTime};
+use netchain_wire::{BatchEncoder, Ipv4Addr};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long after the deadline clients keep draining outstanding queries
+/// before giving up on the run.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Capacity of each control ring, in commands/events.
+const CONTROL_RING: usize = 64;
+
+/// Configuration of a live-controlled run.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveConfig {
+    /// Fabric geometry (shards, clients, switches, spares, rings).
+    pub fabric: FabricConfig,
+    /// Op mix and key population. `ops_per_client` is ignored: the run is
+    /// duration-driven.
+    pub workload: WorkloadSpec,
+    /// Wall-clock length of the measured run.
+    pub duration: Duration,
+    /// Width of one throughput slice.
+    pub slice: Duration,
+    /// Client retransmission timeout (paper: ~1 ms for datacenter RTTs).
+    pub retry_timeout: Duration,
+    /// Client retry budget. Generous by default: during a blocked group's
+    /// sync window a write legitimately retries many times.
+    pub max_retries: u32,
+    /// The fault to inject, if any.
+    pub script: Option<FaultScript>,
+}
+
+impl LiveConfig {
+    /// A live run of `fabric` under `workload` for `duration`, with 20 ms
+    /// slices, 1 ms retransmission timeout, and no fault.
+    pub fn new(fabric: FabricConfig, workload: WorkloadSpec, duration: Duration) -> Self {
+        LiveConfig {
+            fabric,
+            workload,
+            duration,
+            slice: Duration::from_millis(20),
+            retry_timeout: Duration::from_millis(1),
+            max_retries: 100_000,
+            script: None,
+        }
+    }
+
+    /// Returns a copy with the given fault script.
+    pub fn with_script(mut self, script: FaultScript) -> Self {
+        self.script = Some(script);
+        self
+    }
+}
+
+/// The controller's end of one shard's control channel.
+struct ControllerLink {
+    tx: Producer<ControlCmd>,
+    rx: Consumer<ControlEvt>,
+}
+
+impl ControllerLink {
+    fn send(&mut self, cmd: ControlCmd) {
+        let mut item = Some(cmd);
+        loop {
+            match self.tx.push(item.take().expect("refilled on Err")) {
+                Ok(()) => return,
+                Err(back) => {
+                    item = Some(back);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    fn wait(&mut self, token: u64) -> ControlEvt {
+        loop {
+            if let Some(evt) = self.rx.pop() {
+                assert_eq!(
+                    evt.token(),
+                    token,
+                    "control channel is FIFO; events must arrive in order"
+                );
+                return evt;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// The live controller: executes the fault script against the shards.
+struct LiveController {
+    links: Vec<ControllerLink>,
+    ring: HashRing,
+    spares: Vec<Ipv4Addr>,
+    next_token: u64,
+    /// Continues the same sequence the simulated controller uses: failover
+    /// head bumps first, then one bump per activated group.
+    next_session: u64,
+}
+
+impl LiveController {
+    fn token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    /// Sends `cmd(token)` to every shard and waits for all acks.
+    fn broadcast(&mut self, cmd: impl Fn(u64) -> ControlCmd) {
+        let tokens: Vec<u64> = (0..self.links.len()).map(|_| self.token()).collect();
+        for (link, &token) in self.links.iter_mut().zip(&tokens) {
+            link.send(cmd(token));
+        }
+        for (link, &token) in self.links.iter_mut().zip(&tokens) {
+            link.wait(token);
+        }
+    }
+
+    fn sleep_until(t0: Instant, offset: Duration) {
+        loop {
+            let elapsed = t0.elapsed();
+            if elapsed >= offset {
+                return;
+            }
+            std::thread::sleep((offset - elapsed).min(Duration::from_millis(1)));
+        }
+    }
+
+    /// Runs the script; returns the phase timeline.
+    fn run(&mut self, script: &FaultScript, t0: Instant) -> FailoverTimeline {
+        let mut timeline = FailoverTimeline::default();
+        let victim = script.victim;
+
+        // Fault injection.
+        Self::sleep_until(t0, script.kill_at);
+        self.broadcast(|token| ControlCmd::KillSwitch { ip: victim, token });
+        timeline.killed_at = t0.elapsed();
+
+        // Fast failover (Algorithm 2), after the detection delay. The
+        // command sequence is shared with the replay driver.
+        Self::sleep_until(t0, script.kill_at + script.failover_delay);
+        timeline.failover_started_at = t0.elapsed();
+        let plan = FailoverPlan::compute(&self.ring, victim);
+        for builder in control::failover_sequence(&plan, self.next_session) {
+            self.broadcast(&builder);
+        }
+        self.next_session += plan.new_heads.len() as u64;
+        timeline.failover_installed_at = t0.elapsed();
+        timeline.failover_install_time =
+            timeline.failover_installed_at - timeline.failover_started_at;
+
+        // Chain repair (Algorithm 3), group by group.
+        let replacement = script
+            .replacement
+            .or_else(|| self.spares.first().copied())
+            .or_else(|| {
+                failplan::pick_replacement(
+                    &self.ring,
+                    victim,
+                    &std::collections::HashSet::from([victim]),
+                    None,
+                )
+            })
+            .expect("a replacement switch exists");
+        let rplan = RecoveryPlan::compute(
+            &self.ring,
+            victim,
+            replacement,
+            script.recovery_groups,
+            &std::collections::HashSet::from([victim]),
+        );
+        let per_group = script.sync_duration / rplan.steps.len().max(1) as u32;
+        let repair_start = script.kill_at + script.failover_delay + script.recovery_delay;
+        Self::sleep_until(t0, repair_start);
+        timeline.repair_started_at = t0.elapsed();
+        for (i, step) in rplan.steps.iter().enumerate() {
+            // Phase 1: block this group's traffic to the victim, everywhere,
+            // before any state moves.
+            self.broadcast(|token| ControlCmd::InstallRule {
+                failed_ip: victim,
+                rule: step.block,
+                token,
+            });
+            // Synchronise: pull the group's entries from every live donor
+            // replica of each shard and push the union into the same shard's
+            // replacement replica (shards own disjoint keys, so a group's
+            // donors and replacement always pair up within one shard; the
+            // per-key version registers arbitrate between donors).
+            for &donor in &step.donors {
+                for link in self.links.iter_mut() {
+                    self.next_token += 1;
+                    let token = self.next_token;
+                    link.send(ControlCmd::ExportGroup {
+                        ip: donor,
+                        group: step.group,
+                        modulus: rplan.modulus,
+                        token,
+                    });
+                    let ControlEvt::Export { entries, .. } = link.wait(token) else {
+                        unreachable!("ExportGroup is answered with Export");
+                    };
+                    self.next_token += 1;
+                    let token = self.next_token;
+                    link.send(ControlCmd::ImportEntries {
+                        ip: replacement,
+                        entries,
+                        token,
+                    });
+                    link.wait(token);
+                }
+            }
+            // The blocked window is the group's share of the sync budget
+            // (the real copy above is fast; the budget models the paper's
+            // measured switch-control-plane copy cost). Pacing is against
+            // the absolute schedule, so control-channel overhead on a busy
+            // machine eats into later budgets instead of accumulating drift.
+            Self::sleep_until(t0, repair_start + per_group * (i as u32 + 1));
+            // Phase 2: activate the replacement and atomically switch the
+            // group over (redirect overrides the block it replaces). The
+            // sequence is shared with the replay driver.
+            let session = self.next_session;
+            self.next_session += 1;
+            for builder in control::activation_sequence(victim, replacement, session, step) {
+                self.broadcast(&builder);
+            }
+            timeline.group_activations.push(t0.elapsed());
+        }
+        timeline.repair_finished_at = t0.elapsed();
+        timeline.groups_repaired = rplan.steps.len();
+        timeline
+    }
+}
+
+/// Runs the fabric live under control: threads, rings, retrying clients,
+/// time-sliced throughput accounting, and (optionally) a scripted failure
+/// handled by the live controller. Returns after the run drains.
+pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
+    let fabric = config.fabric;
+    assert!(fabric.num_shards > 0 && fabric.num_clients > 0);
+    assert!(
+        fabric.ring_capacity >= config.workload.window,
+        "rings must hold a full client window"
+    );
+    if let Some(script) = &config.script {
+        assert!(
+            script.repair_ends_at() < config.duration,
+            "the fault script must finish inside the run: {:?} >= {:?}",
+            script.repair_ends_at(),
+            config.duration
+        );
+    }
+    let ring_def = fabric.build_ring();
+    let mut workload = config.workload;
+    workload.ops_per_client = u64::MAX;
+    let shards = build_shards(&fabric, &workload);
+
+    // Dataplane rings, exactly as in `run_live`.
+    let mut query_tx: Vec<Vec<Producer<Frame>>> =
+        (0..fabric.num_clients).map(|_| Vec::new()).collect();
+    let mut query_rx: Vec<Vec<Consumer<Frame>>> =
+        (0..fabric.num_shards).map(|_| Vec::new()).collect();
+    let mut reply_tx: Vec<Vec<Producer<Frame>>> =
+        (0..fabric.num_shards).map(|_| Vec::new()).collect();
+    let mut reply_rx: Vec<Vec<Consumer<Frame>>> =
+        (0..fabric.num_clients).map(|_| Vec::new()).collect();
+    for client_rings in query_tx.iter_mut() {
+        for shard_rings in query_rx.iter_mut() {
+            let (tx, rx) = spsc_ring::<Frame>(fabric.ring_capacity);
+            client_rings.push(tx);
+            shard_rings.push(rx);
+        }
+    }
+    for shard_rings in reply_tx.iter_mut() {
+        for client_rings in reply_rx.iter_mut() {
+            let (tx, rx) = spsc_ring::<Frame>(fabric.ring_capacity);
+            shard_rings.push(tx);
+            client_rings.push(rx);
+        }
+    }
+    // Control rings: one command/event pair per shard.
+    let mut ctrl_links: Vec<ControllerLink> = Vec::new();
+    let mut ctrl_cmd_rx: Vec<Consumer<ControlCmd>> = Vec::new();
+    let mut ctrl_evt_tx: Vec<Producer<ControlEvt>> = Vec::new();
+    for _ in 0..fabric.num_shards {
+        let (cmd_tx, cmd_rx) = spsc_ring::<ControlCmd>(CONTROL_RING);
+        let (evt_tx, evt_rx) = spsc_ring::<ControlEvt>(CONTROL_RING);
+        ctrl_links.push(ControllerLink {
+            tx: cmd_tx,
+            rx: evt_rx,
+        });
+        ctrl_cmd_rx.push(cmd_rx);
+        ctrl_evt_tx.push(evt_tx);
+    }
+
+    let done_clients = Arc::new(AtomicUsize::new(0));
+    // Per-client exit flags: a client that hit its hard stop may leave
+    // queries in its ingress rings; shards must not block forever pushing
+    // replies nobody will drain.
+    let client_done: Arc<Vec<AtomicBool>> = Arc::new(
+        (0..fabric.num_clients)
+            .map(|_| AtomicBool::new(false))
+            .collect(),
+    );
+    let ctrl_done = Arc::new(AtomicBool::new(config.script.is_none()));
+    let t0 = Instant::now();
+
+    // Shard workers: dataplane bursts + control-command draining in between.
+    let mut shard_handles = Vec::new();
+    for (s, mut shard) in shards.into_iter().enumerate() {
+        let mut ingress = std::mem::take(&mut query_rx[s]);
+        let mut egress = std::mem::take(&mut reply_tx[s]);
+        let mut cmd_rx = ctrl_cmd_rx.remove(0);
+        let mut evt_tx = ctrl_evt_tx.remove(0);
+        let done = Arc::clone(&done_clients);
+        let exited = Arc::clone(&client_done);
+        let ctl_done = Arc::clone(&ctrl_done);
+        let burst = fabric.burst;
+        let num_clients = fabric.num_clients;
+        let handle = std::thread::Builder::new()
+            .name(format!("livectl-shard-{s}"))
+            .spawn(move || {
+                let mut frames: Vec<Frame> = Vec::with_capacity(burst);
+                let mut replies = BatchEncoder::with_capacity(burst, 128);
+                loop {
+                    // Control plane first: commands take effect at burst
+                    // boundaries, like table updates between pipeline passes.
+                    while let Some(cmd) = cmd_rx.pop() {
+                        let mut evt = Some(control::apply(&mut shard, cmd));
+                        while let Some(e) = evt.take() {
+                            match evt_tx.push(e) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    evt = Some(back);
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                    let mut any = false;
+                    for c in 0..num_clients {
+                        frames.clear();
+                        if ingress[c].pop_batch(&mut frames, burst) == 0 {
+                            continue;
+                        }
+                        any = true;
+                        replies.clear();
+                        shard.process_burst(frames.iter().map(|f| f.as_bytes()), &mut replies);
+                        for frame in replies.frames() {
+                            let mut item =
+                                Some(Frame::from_bytes(frame).expect("replies fit in a frame"));
+                            loop {
+                                match egress[c].push(item.take().expect("refilled on Err")) {
+                                    Ok(()) => break,
+                                    Err(back) => {
+                                        if exited[c].load(Ordering::Acquire) {
+                                            // The client gave up (hard stop)
+                                            // with its reply ring full; the
+                                            // reply has no reader any more.
+                                            break;
+                                        }
+                                        item = Some(back);
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if !any {
+                        if done.load(Ordering::Acquire) == num_clients
+                            && ctl_done.load(Ordering::Acquire)
+                            && ingress.iter_mut().all(|r| r.is_empty_now())
+                        {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+                (shard.id(), *shard.stats())
+            })
+            .expect("spawn shard thread");
+        shard_handles.push(handle);
+    }
+
+    // Duration-driven, retrying, slice-accounting clients.
+    let mut client_handles = Vec::new();
+    for c in 0..fabric.num_clients {
+        let mut tx = std::mem::take(&mut query_tx[c]);
+        let mut rx = std::mem::take(&mut reply_rx[c]);
+        let ring_clone = ring_def.clone();
+        let done = Arc::clone(&done_clients);
+        let exited = Arc::clone(&client_done);
+        let cfg = config;
+        let handle = std::thread::Builder::new()
+            .name(format!("livectl-client-{c}"))
+            .spawn(move || {
+                let agent_config = AgentConfig::new(Ipv4Addr::for_host(c as u32))
+                    .with_timeout(SimDuration::from_nanos(cfg.retry_timeout.as_nanos() as u64))
+                    .with_max_retries(cfg.max_retries);
+                let mut wl = cfg.workload;
+                wl.ops_per_client = u64::MAX;
+                let mut client =
+                    ClientState::with_agent_config(c as u32, &ring_clone, wl, agent_config);
+                let deadline = t0 + cfg.duration;
+                let hard_stop = deadline + DRAIN_GRACE;
+                let slice_nanos = cfg.slice.as_nanos() as u64;
+                let mut slices: Vec<u64> =
+                    vec![0; (cfg.duration.as_nanos() as u64 / slice_nanos + 2) as usize];
+                let mut pending: VecDeque<(usize, Frame)> = VecDeque::new();
+                let mut reply_buf: Vec<Frame> = Vec::with_capacity(cfg.fabric.burst);
+                let mut next_retry_poll = t0 + cfg.retry_timeout;
+                loop {
+                    let now = Instant::now();
+                    let elapsed = now.duration_since(t0);
+                    let now_st = SimTime(elapsed.as_nanos() as u64);
+                    let mut progressed = false;
+                    // Flush parked frames (issues and retransmits alike).
+                    while let Some((s, frame)) = pending.pop_front() {
+                        match tx[s].push(frame) {
+                            Ok(()) => progressed = true,
+                            Err(back) => {
+                                pending.push_front((s, back));
+                                break;
+                            }
+                        }
+                    }
+                    // Issue new work while the run is live.
+                    while pending.is_empty() && now < deadline && client.can_issue() {
+                        let pkt = client.issue_at(now_st);
+                        let s = cfg.fabric.shard_of(&ring_clone, &pkt.netchain.key);
+                        let frame = Frame::from_packet(&pkt).expect("queries fit in a frame");
+                        match tx[s].push(frame) {
+                            Ok(()) => progressed = true,
+                            Err(back) => pending.push_back((s, back)),
+                        }
+                    }
+                    // Drain replies into the current slice.
+                    for shard_rx in rx.iter_mut() {
+                        reply_buf.clear();
+                        if shard_rx.pop_batch(&mut reply_buf, cfg.fabric.burst) > 0 {
+                            progressed = true;
+                            for frame in &reply_buf {
+                                if client.absorb_reply_at(now_st, frame.as_bytes()) {
+                                    let idx = (elapsed.as_nanos() as u64 / slice_nanos) as usize;
+                                    if idx >= slices.len() {
+                                        slices.resize(idx + 1, 0);
+                                    }
+                                    slices[idx] += 1;
+                                }
+                            }
+                        }
+                    }
+                    // Retransmission timers.
+                    if now >= next_retry_poll {
+                        next_retry_poll = now + cfg.retry_timeout / 2;
+                        for pkt in client.poll_retries_at(now_st) {
+                            let s = cfg.fabric.shard_of(&ring_clone, &pkt.netchain.key);
+                            let frame = Frame::from_packet(&pkt).expect("queries fit in a frame");
+                            match tx[s].push(frame) {
+                                Ok(()) => progressed = true,
+                                Err(back) => pending.push_back((s, back)),
+                            }
+                        }
+                    }
+                    if now >= deadline && client.outstanding() == 0 && pending.is_empty() {
+                        break;
+                    }
+                    if now >= hard_stop {
+                        // Outstanding queries could not be drained (should
+                        // not happen: retries cover every transient drop).
+                        break;
+                    }
+                    if !progressed {
+                        std::thread::yield_now();
+                    }
+                }
+                exited[c].store(true, Ordering::Release);
+                done.fetch_add(1, Ordering::Release);
+                (client.report(), slices)
+            })
+            .expect("spawn client thread");
+        client_handles.push(handle);
+    }
+
+    // The controller runs on this thread (it sleeps most of the time).
+    let timeline = config.script.as_ref().map(|script| {
+        let mut controller = LiveController {
+            links: std::mem::take(&mut ctrl_links),
+            ring: ring_def.clone(),
+            spares: fabric.spare_ips(),
+            next_token: 0,
+            next_session: 1,
+        };
+        let timeline = controller.run(script, t0);
+        ctrl_done.store(true, Ordering::Release);
+        timeline
+    });
+
+    let mut slices: Vec<u64> = Vec::new();
+    let mut clients = Vec::new();
+    for handle in client_handles {
+        let (report, client_slices) = handle.join().expect("client thread panicked");
+        clients.push(report);
+        if client_slices.len() > slices.len() {
+            slices.resize(client_slices.len(), 0);
+        }
+        for (i, n) in client_slices.into_iter().enumerate() {
+            slices[i] += n;
+        }
+    }
+    let elapsed = t0.elapsed();
+    let mut shard_stats = vec![Default::default(); fabric.num_shards];
+    for handle in shard_handles {
+        let (id, stats) = handle.join().expect("shard thread panicked");
+        shard_stats[id] = stats;
+    }
+    let completed_ops: u64 = clients.iter().map(|c| c.completed).sum();
+    LiveReport {
+        elapsed,
+        slice: config.slice,
+        slices,
+        completed_ops,
+        ops_per_sec: completed_ops as f64 / elapsed.as_secs_f64().max(1e-12),
+        clients,
+        shards: shard_stats,
+        timeline,
+    }
+}

@@ -1,0 +1,190 @@
+//! Property test of two-phase chain repair, under proptest-generated
+//! failure timings and op interleavings:
+//!
+//! * a read that would be served by the dead switch (its route's first hop
+//!   is the victim) is **never** answered while its virtual group is
+//!   blocked — the block rule holds, so no stale or half-synchronised state
+//!   can leak;
+//! * a read that does complete never returns a value older than the last
+//!   acknowledged write (it returns that write's value, or a later
+//!   not-yet-acknowledged one — a concurrent write that is allowed to
+//!   commit);
+//! * an **acknowledged write is never lost**: after repair completes, every
+//!   key reads back as its last acknowledged write (or a later unacked
+//!   overwrite), at a version no older than the acknowledged one;
+//! * the client agent observes zero version regressions throughout.
+
+use netchain_core::{HashRing, KvOp};
+use netchain_livectl::{replay_agent_config, ReplayFabric};
+use netchain_switch::PipelineConfig;
+use netchain_wire::{Ipv4Addr, Key, QueryStatus, Value};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::collections::HashMap;
+
+const NUM_KEYS: u64 = 12;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Write(u64),
+    Read(u64),
+    /// Block the next repair group (no-op if one is already blocked or
+    /// repair is done).
+    Block,
+    /// Synchronise + activate the blocked group (no-op if none is blocked).
+    Activate,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..NUM_KEYS).prop_map(Action::Write),
+        (0..NUM_KEYS).prop_map(Action::Read),
+        (0..NUM_KEYS).prop_map(Action::Write),
+        (0..NUM_KEYS).prop_map(Action::Read),
+        Just(Action::Block),
+        Just(Action::Activate),
+    ]
+}
+
+/// Per-key ground truth the fabric must respect.
+#[derive(Debug, Default, Clone)]
+struct Truth {
+    /// Value and seq of the last acknowledged write.
+    acked: Option<(u64, u64)>,
+    /// Values written after the last ack that were not (yet) acknowledged —
+    /// concurrent writes allowed, but not required, to commit.
+    unacked_after: Vec<u64>,
+}
+
+fn check_read_value(
+    truth: &Truth,
+    key: u64,
+    value: &Value,
+    seq: u64,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let got = value.as_u64();
+    match truth.acked {
+        Some((acked_value, acked_seq)) => {
+            let allowed =
+                got == Some(acked_value) || got.is_some_and(|v| truth.unacked_after.contains(&v));
+            prop_assert!(
+                allowed,
+                "{context}: key {key} read {got:?}, expected acked {acked_value} \
+                 or one of the unacked overwrites {:?}",
+                truth.unacked_after
+            );
+            prop_assert!(
+                seq >= acked_seq,
+                "{context}: key {key} version regressed: {seq} < acked {acked_seq}"
+            );
+        }
+        None => {
+            // Never acknowledged a write: the initial value (0) or any
+            // unacked write is acceptable.
+            let allowed = got == Some(0) || got.is_some_and(|v| truth.unacked_after.contains(&v));
+            prop_assert!(allowed, "{context}: key {key} read {got:?} from nowhere");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn repair_never_serves_blocked_reads_and_never_loses_acked_writes(
+        victim_idx in 0u32..3,
+        recovery_groups in 1u32..8,
+        pre_writes in proptest::collection::vec(0..NUM_KEYS, 0..12),
+        actions in proptest::collection::vec(arb_action(), 0..48),
+    ) {
+        let ring = HashRing::new((0..3).map(Ipv4Addr::for_switch).collect(), 8, 3, 7);
+        let spare = Ipv4Addr::for_switch(3);
+        let victim = Ipv4Addr::for_switch(victim_idx);
+        let mut fabric = ReplayFabric::new(
+            ring.clone(),
+            2,
+            PipelineConfig::tiny(256),
+            &[spare],
+            replay_agent_config(0),
+        );
+        for k in 0..NUM_KEYS {
+            fabric.populate(Key::from_u64(k), &Value::from_u64(0));
+        }
+        let mut truth: HashMap<u64, Truth> = HashMap::new();
+        let mut next_value = 1u64;
+
+        // Healthy writes, all acknowledged.
+        for k in pre_writes {
+            let value = next_value;
+            next_value += 1;
+            let done = fabric.exec(KvOp::Write(Key::from_u64(k), Value::from_u64(value)));
+            prop_assert_eq!(done.status, Some(QueryStatus::Ok));
+            truth.insert(k, Truth { acked: Some((value, done.seq)), unacked_after: Vec::new() });
+        }
+
+        // The failure and Algorithm 2.
+        fabric.kill(victim);
+        fabric.fast_failover(victim);
+        fabric.start_recovery(victim, spare, Some(recovery_groups));
+
+        // Proptest-chosen interleaving of traffic and repair steps.
+        for action in actions {
+            match action {
+                Action::Block => { fabric.block_next_group(); }
+                Action::Activate => { fabric.finish_blocked_group(); }
+                Action::Write(k) => {
+                    let key = Key::from_u64(k);
+                    let value = next_value;
+                    next_value += 1;
+                    let done = fabric.exec(KvOp::Write(key, Value::from_u64(value)));
+                    let entry = truth.entry(k).or_default();
+                    match done.status {
+                        Some(QueryStatus::Ok) => {
+                            *entry = Truth { acked: Some((value, done.seq)), unacked_after: Vec::new() };
+                        }
+                        Some(other) => prop_assert!(false, "write answered {other:?}"),
+                        None => entry.unacked_after.push(value),
+                    }
+                }
+                Action::Read(k) => {
+                    let key = Key::from_u64(k);
+                    let route_hits_victim =
+                        ring.chain_for_key(&key).tail() == victim;
+                    let blocked = fabric.is_key_blocked(&key);
+                    let done = fabric.exec(KvOp::Read(key));
+                    if route_hits_victim && blocked {
+                        prop_assert!(
+                            done.status.is_none(),
+                            "a blocked group's read towards the dead switch must not be \
+                             served, got {:?}",
+                            done.status
+                        );
+                        continue;
+                    }
+                    if done.status == Some(QueryStatus::Ok) {
+                        let entry = truth.entry(k).or_default();
+                        check_read_value(entry, k, &done.value, done.seq, "mid-repair read")?;
+                    }
+                }
+            }
+        }
+
+        // Finish the repair and verify nothing acknowledged was lost.
+        fabric.repair_all();
+        prop_assert!(fabric.repair_complete());
+        for k in 0..NUM_KEYS {
+            let done = fabric.exec(KvOp::Read(Key::from_u64(k)));
+            prop_assert!(
+                done.status == Some(QueryStatus::Ok),
+                "key {} must be readable after repair, got {:?}",
+                k,
+                done.status
+            );
+            let entry = truth.entry(k).or_default();
+            check_read_value(entry, k, &done.value, done.seq, "post-repair read")?;
+        }
+        prop_assert_eq!(fabric.agent().stats().version_regressions, 0);
+    }
+}

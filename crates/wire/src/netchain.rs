@@ -160,6 +160,17 @@ impl Value {
         &self.0
     }
 
+    /// Replaces the value's bytes in place, keeping the existing allocation
+    /// (the hot-path alternative to building a fresh [`Value`] per packet).
+    pub fn set_bytes(&mut self, bytes: &[u8]) -> WireResult<()> {
+        if bytes.len() > MAX_VALUE_LEN {
+            return Err(WireError::ValueTooLong(bytes.len()));
+        }
+        self.0.clear();
+        self.0.extend_from_slice(bytes);
+        Ok(())
+    }
+
     /// Length in bytes.
     pub fn len(&self) -> usize {
         self.0.len()
@@ -359,6 +370,20 @@ impl ChainList {
     /// All remaining hops in order.
     pub fn hops(&self) -> &[Ipv4Addr] {
         &self.0
+    }
+
+    /// Replaces the hop list in place, keeping the existing allocation (the
+    /// hot-path alternative to building a fresh [`ChainList`] per packet).
+    /// `len` must already be validated against [`MAX_CHAIN_LEN`].
+    pub fn refill(&mut self, hops: impl IntoIterator<Item = Ipv4Addr>) -> WireResult<()> {
+        self.0.clear();
+        self.0.extend(hops);
+        if self.0.len() > MAX_CHAIN_LEN {
+            let len = self.0.len();
+            self.0.clear();
+            return Err(WireError::ChainTooLong(len));
+        }
+        Ok(())
     }
 }
 

@@ -175,6 +175,25 @@ impl<'a> NetChainView<'a> {
             value: Value::new(self.value().to_vec()).expect("value length validated by parse"),
         }
     }
+
+    /// Writes the view into an existing [`NetChainHeader`], reusing its chain
+    /// and value allocations. Steady state allocates nothing at all, even for
+    /// writes — this is the arena fast path the fabric's packet pool uses.
+    /// The result is identical to [`Self::to_owned`].
+    pub fn write_into(&self, out: &mut NetChainHeader) {
+        out.op = self.op();
+        out.status = self.status();
+        out.session = self.session();
+        out.seq = self.seq();
+        out.request_id = self.request_id();
+        out.key = self.key();
+        out.chain
+            .refill(self.hops())
+            .expect("chain length validated by parse");
+        out.value
+            .set_bytes(self.value())
+            .expect("value length validated by parse");
+    }
 }
 
 /// A borrowed, validated view of a full serialized NetChain packet
@@ -226,6 +245,16 @@ impl<'a> PacketView<'a> {
             udp: self.udp,
             netchain: self.netchain.to_owned(),
         }
+    }
+
+    /// Writes the view into an existing [`NetChainPacket`], reusing its heap
+    /// allocations (see [`NetChainView::write_into`]). Equal to
+    /// [`Self::to_owned`] in every field.
+    pub fn to_owned_into(&self, out: &mut NetChainPacket) {
+        out.eth = self.eth;
+        out.ip = self.ip;
+        out.udp = self.udp;
+        self.netchain.write_into(&mut out.netchain);
     }
 }
 

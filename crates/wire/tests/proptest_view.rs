@@ -120,7 +120,23 @@ proptest! {
             owned.netchain.chain.hops().to_vec()
         );
         prop_assert_eq!(view.netchain.value(), owned.netchain.value.as_bytes());
-        prop_assert_eq!(view.to_owned(), owned);
+        prop_assert_eq!(view.to_owned(), owned.clone());
+
+        // The arena path: writing into a dirty recycled packet gives exactly
+        // the same result as a fresh owned conversion, whatever the recycled
+        // packet used to hold.
+        let mut recycled = NetChainPacket::query(
+            Ipv4Addr([9, 9, 9, 9]),
+            1,
+            Ipv4Addr([8, 8, 8, 8]),
+            OpCode::Delete,
+            Key::from_name("stale/leftover"),
+            Value::filled(0xee, MAX_VALUE_LEN).unwrap(),
+            ChainList::new(vec![Ipv4Addr([7, 7, 7, 7]); MAX_CHAIN_LEN]).unwrap(),
+            u64::MAX,
+        );
+        view.to_owned_into(&mut recycled);
+        prop_assert_eq!(recycled, owned);
     }
 
     /// Truncating a valid header anywhere: both parsers reject, identically.

@@ -1,0 +1,8 @@
+//! Workspace-root alias for the live failover experiment, so
+//! `cargo run --release --bin failover_live` works without `-p`.
+//! See `crates/experiments/src/failover_live.rs`.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    netchain_experiments::failover_live::run_cli(smoke);
+}
