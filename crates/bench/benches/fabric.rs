@@ -14,6 +14,7 @@
 
 use criterion::{black_box, criterion_group, Criterion};
 use netchain_fabric::{build_shards, run_capacity, FabricConfig, WorkloadSpec};
+use netchain_telemetry::TraceConfig;
 use netchain_wire::{
     BatchEncoder, ChainList, Ipv4Addr, Key, NetChainPacket, OpCode, PacketView, Value,
 };
@@ -123,7 +124,52 @@ fn bench_burst(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_parse, bench_burst);
+/// The telemetry guard at micro-benchmark granularity: the same 32-read
+/// burst with the tracer absent (the default fast path — must match
+/// `shard_burst_32_reads`) and with 1-in-256 trace sampling enabled.
+fn bench_burst_tracing(c: &mut Criterion) {
+    let config = FabricConfig::new(1);
+    let workload = WorkloadSpec::uniform_read(1024, 0);
+    let ring = config.build_ring();
+    let frames: Vec<Vec<u8>> = (0..config.burst as u64)
+        .map(|i| {
+            let key = Key::from_u64(i % workload.num_keys);
+            NetChainPacket::query(
+                Ipv4Addr::for_host(0),
+                40_000,
+                ring.chain_for_key(&key).tail(),
+                OpCode::Read,
+                key,
+                Value::empty(),
+                ChainList::empty(),
+                i,
+            )
+            .to_bytes()
+        })
+        .collect();
+    let mut replies = BatchEncoder::with_capacity(config.burst, 128);
+    let mut untraced = build_shards(&config, &workload);
+    c.bench_function("fabric/shard_burst_32_reads_trace_off", |b| {
+        b.iter(|| {
+            replies.clear();
+            untraced[0].process_burst(frames.iter().map(|f| f.as_slice()), &mut replies);
+            black_box(replies.len())
+        })
+    });
+    let mut traced = build_shards(&config, &workload);
+    traced[0].enable_tracing(TraceConfig::sampled(8, 1024), std::time::Instant::now());
+    c.bench_function("fabric/shard_burst_32_reads_trace_on", |b| {
+        b.iter(|| {
+            replies.clear();
+            traced[0].process_burst(frames.iter().map(|f| f.as_slice()), &mut replies);
+            black_box(replies.len());
+            // Keep the sink bounded across criterion's many iterations.
+            black_box(traced[0].take_traces());
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_burst, bench_burst_tracing);
 
 /// The acceptance measurement: aggregate ops/sec vs worker shard count on the
 /// uniform-read workload, and vs chain length at 4 shards.

@@ -374,6 +374,28 @@ impl NetChainCluster {
             .node_as::<ScriptedClient>(self.layout.hosts[host_index])
     }
 
+    /// Turns on in-band trace stamping on every switch. All switches share
+    /// one sink (the simulator is single-threaded); drain it after the run
+    /// for the per-hop chain breakdowns. Clients do not stamp — the sink
+    /// records the switch-visit sequence, which is what differential checks
+    /// against the fabric compare.
+    pub fn enable_switch_tracing(
+        &mut self,
+        config: netchain_telemetry::TraceConfig,
+    ) -> std::rc::Rc<std::cell::RefCell<netchain_telemetry::TraceSink>> {
+        let sink = std::rc::Rc::new(std::cell::RefCell::new(netchain_telemetry::TraceSink::new(
+            config,
+        )));
+        for &node in &self.layout.switches {
+            let switch = self
+                .sim
+                .node_as_mut::<SwitchNode>(node)
+                .expect("switch nodes are SwitchNode");
+            switch.set_tracer(std::rc::Rc::clone(&sink));
+        }
+        sink
+    }
+
     /// Borrow the switch adapter at `switch_index`.
     pub fn switch(&self, switch_index: usize) -> &SwitchNode {
         self.sim

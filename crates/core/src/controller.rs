@@ -24,6 +24,7 @@ use crate::hashring::HashRing;
 use crate::message::{ControlMsg, NetMsg};
 use netchain_sim::{Context, Node, NodeId, SimDuration, SimTime, TimerToken};
 use netchain_switch::FailoverRule;
+use netchain_telemetry::{Journal, SpanHandle};
 use netchain_wire::Ipv4Addr;
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
@@ -118,6 +119,13 @@ pub struct Controller {
     /// the task index is enough).
     pending_exports: HashMap<usize, usize>,
     next_session: u64,
+    /// Control-plane event journal: failure detections, failover issuance,
+    /// the recovery phase and every per-group sync as spans.
+    journal: Journal,
+    /// Open `recovery:` span per task.
+    recovery_spans: HashMap<usize, SpanHandle>,
+    /// Open `sync-group:` span per task (one group syncs at a time).
+    sync_spans: HashMap<usize, SpanHandle>,
 }
 
 impl Controller {
@@ -142,12 +150,21 @@ impl Controller {
             pending_failover_at: HashMap::new(),
             pending_exports: HashMap::new(),
             next_session: 1,
+            journal: Journal::new(),
+            recovery_spans: HashMap::new(),
+            sync_spans: HashMap::new(),
         }
     }
 
     /// Completed recovery records.
     pub fn records(&self) -> &[RecoveryRecord] {
         &self.records
+    }
+
+    /// The control-plane event journal (failure detections, failover
+    /// issuance, recovery and per-group sync spans, in simulated time).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 
     /// Switches the controller currently believes failed.
@@ -238,6 +255,11 @@ impl Controller {
         for neighbor in self.neighbors_of(failed_node) {
             self.send_rule(ctx, neighbor, failed_ip, block);
         }
+        let group = self.tasks[task_idx].plan.steps[self.tasks[task_idx].current].group;
+        let span = self
+            .journal
+            .begin(format!("sync-group:{group}"), ctx.now().as_nanos());
+        self.sync_spans.insert(task_idx, span);
         // The synchronisation takes its share of the total sync budget.
         let per_group = SimDuration::from_nanos(
             self.config.total_sync_duration.as_nanos() / group_count.max(1) as u64,
@@ -320,6 +342,9 @@ impl Controller {
                 self.config.control_latency,
             );
         }
+        if let Some(span) = self.sync_spans.remove(&task_idx) {
+            self.journal.end(span, ctx.now().as_nanos());
+        }
         // Advance to the next group or finish.
         let task = &mut self.tasks[task_idx];
         task.current += 1;
@@ -327,6 +352,9 @@ impl Controller {
             self.start_group_sync(task_idx, ctx);
         } else {
             task.phase = RecoveryPhase::Complete;
+            if let Some(span) = self.recovery_spans.remove(&task_idx) {
+                self.journal.end(span, ctx.now().as_nanos());
+            }
             let record = RecoveryRecord {
                 failed_ip,
                 replacement_ip,
@@ -382,7 +410,18 @@ impl Node<NetMsg> for Controller {
         }
         self.failed.insert(failed_ip);
         self.pending_failover_at.insert(failed_ip, ctx.now());
+        self.journal.instant(
+            format!("failure-detected:{failed_ip}"),
+            ctx.now().as_nanos(),
+        );
         self.fast_failover(node, failed_ip, ctx);
+        // Rules are issued now and land one control-plane latency later —
+        // the window Algorithm 2 keeps sub-millisecond.
+        self.journal.span(
+            format!("fast-failover:{failed_ip}"),
+            ctx.now().as_nanos(),
+            (ctx.now() + self.config.control_latency).as_nanos(),
+        );
 
         if !self.config.auto_recovery {
             return;
@@ -430,6 +469,11 @@ impl Node<NetMsg> for Controller {
             let idx = (token - TIMER_RECOVERY_BASE) as usize;
             if idx < self.tasks.len() {
                 self.tasks[idx].phase = RecoveryPhase::Syncing;
+                let span = self.journal.begin(
+                    format!("recovery:{}", self.tasks[idx].plan.failed_ip),
+                    ctx.now().as_nanos(),
+                );
+                self.recovery_spans.insert(idx, span);
                 self.start_group_sync(idx, ctx);
             }
         }

@@ -6,9 +6,12 @@
 use crate::message::{ControlMsg, NetMsg};
 use netchain_sim::{Context, Node, NodeId, SimDuration};
 use netchain_switch::{NetChainSwitch, SwitchAction};
+use netchain_telemetry::{trace_id, TraceSink};
 use netchain_wire::Ipv4Addr;
 use std::any::Any;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 /// A switch attached to the simulated topology.
 pub struct SwitchNode {
@@ -25,6 +28,9 @@ pub struct SwitchNode {
     control_latency: SimDuration,
     /// Packets dropped because no live route existed for the destination.
     dropped_no_route: u64,
+    /// In-band trace stamping, shared with the other switches of the
+    /// cluster (the simulator is single-threaded, so one sink serves all).
+    tracer: Option<Rc<RefCell<TraceSink>>>,
 }
 
 impl SwitchNode {
@@ -40,7 +46,16 @@ impl SwitchNode {
             down_neighbors: HashSet::new(),
             control_latency,
             dropped_no_route: 0,
+            tracer: None,
         }
+    }
+
+    /// Attaches a (shared) trace sink: queries addressed to this switch get
+    /// a per-hop stamp at simulated arrival time. Transit packets the
+    /// underlay merely forwards are *not* stamped, so hop sequences are
+    /// comparable with the fabric's (which has no L3 transit hops).
+    pub fn set_tracer(&mut self, sink: Rc<RefCell<TraceSink>>) {
+        self.tracer = Some(sink);
     }
 
     /// The data-plane model.
@@ -148,10 +163,23 @@ impl Node<NetMsg> for SwitchNode {
 
     fn on_message(&mut self, from: NodeId, msg: NetMsg, ctx: &mut Context<NetMsg>) {
         match msg {
-            NetMsg::Data(pkt) => match self.switch.handle(pkt) {
-                SwitchAction::Forward(out) => self.forward(out, ctx),
-                SwitchAction::Drop(_) => {}
-            },
+            NetMsg::Data(pkt) => {
+                if let Some(tracer) = &self.tracer {
+                    if pkt.ip.dst == self.switch.ip() && pkt.netchain.op.is_query() {
+                        let id =
+                            trace_id(u32::from_be_bytes(pkt.ip.src.0), pkt.netchain.request_id);
+                        tracer.borrow_mut().stamp(
+                            id,
+                            u32::from_be_bytes(self.switch.ip().0),
+                            ctx.now().as_nanos(),
+                        );
+                    }
+                }
+                match self.switch.handle(pkt) {
+                    SwitchAction::Forward(out) => self.forward(out, ctx),
+                    SwitchAction::Drop(_) => {}
+                }
+            }
             NetMsg::Control(control) => self.apply_control(from, control, ctx),
         }
     }

@@ -1,26 +1,93 @@
 //! Measures the software fabric's aggregate ops/sec vs worker shard count
 //! and vs chain length. Unlike the figure bins, these are real measurements
-//! of this machine, not simulations of the paper's testbed.
-use netchain_experiments::{fabric_scale, print_series};
+//! of this machine, not simulations of the paper's testbed. Results are
+//! also exported as `BENCH_fabric_scale.jsonl` (one record per series plus
+//! a traced live run's latency quantiles and per-hop summary).
+use netchain_experiments::{fabric_scale, print_series, Series};
+use netchain_telemetry::{ArtifactWriter, Json};
+
+fn record_series(artifact: &mut ArtifactWriter, sweep: &str, series: &[Series]) {
+    for s in series {
+        artifact.record(
+            "series",
+            vec![
+                ("sweep", Json::str(sweep)),
+                ("name", Json::str(&s.name)),
+                (
+                    "points",
+                    Json::Arr(
+                        s.points
+                            .iter()
+                            .map(|&(x, y)| Json::Arr(vec![Json::F64(x), Json::F64(y)]))
+                            .collect(),
+                    ),
+                ),
+            ],
+        );
+    }
+}
 
 fn main() {
     let params = fabric_scale::FabricScaleParams::default();
+    let mut artifact = ArtifactWriter::new("fabric_scale");
+
+    let shards = fabric_scale::throughput_vs_shards(params, &[1, 2, 4, 8, 16]);
     print_series(
         "Fabric scale: throughput vs worker shards",
         "worker shards",
         "ops/sec",
-        &fabric_scale::throughput_vs_shards(params, &[1, 2, 4, 8, 16]),
+        &shards,
     );
+    record_series(&mut artifact, "throughput_vs_shards", &shards);
+
+    let chain = fabric_scale::throughput_vs_chain_length(params, 4, &[1, 2, 3, 4, 5]);
     print_series(
         "Fabric scale: throughput vs chain length (4 shards)",
         "chain length (f+1)",
         "ops/sec",
-        &fabric_scale::throughput_vs_chain_length(params, 4, &[1, 2, 3, 4, 5]),
+        &chain,
     );
+    record_series(&mut artifact, "throughput_vs_chain_length", &chain);
+
+    let baseline = fabric_scale::fabric_vs_baseline(params, &[1, 2, 4, 8]);
     print_series(
         "Fabric vs server baseline (measured, same load generator)",
         "workers (shards / servers)",
         "ops/sec",
-        &fabric_scale::fabric_vs_baseline(params, &[1, 2, 4, 8]),
+        &baseline,
     );
+    record_series(&mut artifact, "fabric_vs_baseline", &baseline);
+
+    // One live (threaded, wall-clock) run with trace sampling on: the
+    // latency and per-hop profile the capacity sweeps cannot see.
+    let profile_params = fabric_scale::FabricScaleParams {
+        ops: 50_000,
+        ..params
+    };
+    let report = fabric_scale::live_profile(profile_params, 4);
+    let quantiles = report.latency.quantiles();
+    println!(
+        "Live profile (4 shards, 50/40/10 mix): {}",
+        quantiles.to_line()
+    );
+    let hops = report.trace_summary();
+    if let Some(path) = hops.dominant_path() {
+        println!(
+            "traces: {} sampled; dominant path {}",
+            hops.traces,
+            netchain_telemetry::path_to_string(path),
+        );
+    }
+    artifact.record(
+        "latency",
+        vec![
+            ("shards", Json::U64(4)),
+            ("quantiles", Json::from(quantiles)),
+        ],
+    );
+    artifact.record("hops", vec![("summary", Json::from(&hops))]);
+
+    if let Some(path) = artifact.write() {
+        println!("artifact: {}", path.display());
+    }
 }

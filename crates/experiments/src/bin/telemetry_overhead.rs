@@ -1,0 +1,10 @@
+//! The telemetry overhead guard: asserts the fabric's fast path with
+//! tracing disabled is indistinguishable from noise against a traced run,
+//! and exports the measurement as `BENCH_telemetry_overhead.jsonl`.
+//!
+//! `--smoke` runs a short configuration with a loose threshold (CI).
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    netchain_experiments::telemetry_overhead::run_cli(smoke);
+}

@@ -14,7 +14,10 @@
 use crate::series::Series;
 use netchain_baseline::message::{ZkOp, ZkStore};
 use netchain_core::KvOp;
-use netchain_fabric::{run_capacity, ClientState, FabricConfig, WorkloadSpec};
+use netchain_fabric::{
+    run_capacity, run_live, ClientState, FabricConfig, FabricReport, WorkloadSpec,
+};
+use netchain_telemetry::TraceConfig;
 use std::time::{Duration, Instant};
 
 /// Workload shape shared by both scale sweeps.
@@ -88,6 +91,19 @@ pub fn throughput_vs_chain_length(
         Series::new("fabric (100% read)", read_points),
         Series::new("fabric (50% write)", write_points),
     ]
+}
+
+/// One *live* (threaded, wall-clock) run of the fabric with in-band trace
+/// sampling on: the latency-distribution and per-hop profile the capacity
+/// sweeps above cannot see (they time shards run-to-completion). Returns
+/// the full report; callers export `report.latency.quantiles()` and
+/// `report.trace_summary()`.
+pub fn live_profile(params: FabricScaleParams, shards: usize) -> FabricReport {
+    let config = FabricConfig::new(shards).with_trace(TraceConfig::sampled(6, 4096));
+    run_live(
+        config,
+        WorkloadSpec::mixed(params.num_keys, params.ops, 50, 40),
+    )
 }
 
 /// Measured capacity of a ZooKeeper-style server ensemble (the
@@ -237,6 +253,16 @@ mod tests {
             assert_eq!(s.points.len(), 2);
             assert!(s.points.iter().all(|&(_, y)| y > 0.0), "{s:?}");
         }
+    }
+
+    #[test]
+    fn live_profile_records_latency_and_traces() {
+        let report = live_profile(small(), 2);
+        assert!(report.completed_ops > 0);
+        assert_eq!(report.latency.count(), report.completed_ops);
+        assert!(!report.traces.is_empty());
+        let quantiles = report.latency.quantiles();
+        assert!(quantiles.p999_ns >= quantiles.p50_ns);
     }
 
     #[test]

@@ -15,8 +15,17 @@
 use crate::series::Series;
 use netchain_fabric::{FabricConfig, WorkloadSpec};
 use netchain_livectl::{run_live_controlled, FaultScript, LiveConfig, LiveReport};
+use netchain_telemetry::{ArtifactWriter, Json, Quantiles, TraceConfig};
 use netchain_wire::Ipv4Addr;
 use std::time::Duration;
+
+/// Trace sampling used by the live failover runs: 1 in 2^6 queries carries a
+/// per-hop trace, capped well below memory concerns.
+const TRACE_SAMPLING: TraceConfig = TraceConfig {
+    enabled: true,
+    sample_shift: 6,
+    max_traces: 4096,
+};
 
 /// Parameters of one live failover run (shared by every `groups` setting).
 #[derive(Debug, Clone, Copy)]
@@ -101,6 +110,10 @@ impl FailoverLiveParams {
             failover_install_time: timeline.failover_install_time,
             retries: report.total_retries(),
             abandoned: report.total_abandoned(),
+            version_regressions: report.total_version_regressions(),
+            unroutable: report.total_unroutable(),
+            blocked: report.total_blocked(),
+            latency: report.latency.quantiles(),
         }
     }
 }
@@ -129,22 +142,33 @@ pub struct FailoverLiveSummary {
     pub retries: u64,
     /// Abandoned queries (must be zero).
     pub abandoned: u64,
+    /// Replies that travelled backwards in chain version (must be zero).
+    pub version_regressions: u64,
+    /// Queries the dataplane dropped for lack of a live route (nonzero only
+    /// inside the kill→failover window).
+    pub unroutable: u64,
+    /// Writes bounced off blocked groups during repair.
+    pub blocked: u64,
+    /// Issue→reply wall-clock latency quantiles over the whole run.
+    pub latency: Quantiles,
 }
 
 /// Runs one live failover experiment with the key space repaired in
-/// `groups` virtual groups. Returns the absolute and normalised series plus
-/// the window summary.
+/// `groups` virtual groups. Returns the absolute and normalised series, the
+/// window summary, and the full report (latency, traces, timeline) for
+/// artifact export.
 pub fn failover_live(
     params: FailoverLiveParams,
     groups: u32,
-) -> (Vec<Series>, FailoverLiveSummary) {
+) -> (Vec<Series>, FailoverLiveSummary, LiveReport) {
     let fabric = FabricConfig {
         num_switches: params.switches,
         vnodes_per_switch: 16,
         ring_capacity: 256,
         ..FabricConfig::new(params.shards)
     }
-    .with_spares(1);
+    .with_spares(1)
+    .with_trace(TRACE_SAMPLING);
     let workload = WorkloadSpec::mixed(params.num_keys, 0, params.read_pct, 100 - params.read_pct);
     let script = FaultScript {
         victim: Ipv4Addr::for_switch(1),
@@ -166,7 +190,65 @@ pub fn failover_live(
         format!("normalised, {groups} vgroup(s)"),
         points.iter().map(|&(t, r)| (t, r / plateau)).collect(),
     );
-    (vec![absolute, normalised], summary)
+    (vec![absolute, normalised], summary, report)
+}
+
+/// Appends one run's records (summary, latency, control-plane spans, hop
+/// traces) to the JSON-lines artifact.
+fn export_run(
+    artifact: &mut ArtifactWriter,
+    groups: u32,
+    summary: &FailoverLiveSummary,
+    report: &LiveReport,
+) {
+    artifact.record(
+        "summary",
+        vec![
+            ("groups", Json::U64(u64::from(groups))),
+            ("completed_ops", Json::U64(report.completed_ops)),
+            ("ops_per_sec", Json::F64(report.ops_per_sec)),
+            ("pre_failure", Json::F64(summary.pre_failure)),
+            ("failover_mean", Json::F64(summary.failover_mean)),
+            ("repair_mean", Json::F64(summary.repair_mean)),
+            ("post_repair", Json::F64(summary.post_repair)),
+            ("blocked_fraction", Json::F64(summary.blocked_fraction)),
+            (
+                "failover_install_ns",
+                Json::U64(summary.failover_install_time.as_nanos() as u64),
+            ),
+            ("retries", Json::U64(summary.retries)),
+            ("abandoned", Json::U64(summary.abandoned)),
+            (
+                "version_regressions",
+                Json::U64(summary.version_regressions),
+            ),
+            ("unroutable", Json::U64(summary.unroutable)),
+            ("blocked", Json::U64(summary.blocked)),
+        ],
+    );
+    artifact.record(
+        "latency",
+        vec![
+            ("groups", Json::U64(u64::from(groups))),
+            ("quantiles", Json::from(summary.latency)),
+        ],
+    );
+    if let Some(timeline) = &report.timeline {
+        artifact.record(
+            "spans",
+            vec![
+                ("groups", Json::U64(u64::from(groups))),
+                ("journal", Json::from(&timeline.journal())),
+            ],
+        );
+    }
+    artifact.record(
+        "hops",
+        vec![
+            ("groups", Json::U64(u64::from(groups))),
+            ("summary", Json::from(&report.trace_summary())),
+        ],
+    );
 }
 
 /// The `failover_live` command-line entry point: runs the coarse and fine
@@ -182,9 +264,10 @@ pub fn run_cli(smoke: bool) {
     };
     let group_settings: &[u32] = if smoke { &[1, 16] } else { &[1, 100] };
 
+    let mut artifact = ArtifactWriter::new("failover_live");
     let mut summaries = Vec::new();
     for &groups in group_settings {
-        let (series, summary) = failover_live(params, groups);
+        let (series, summary, report) = failover_live(params, groups);
         print_series(
             &format!("Live failover ({groups} vgroup(s))"),
             "time (s)",
@@ -204,8 +287,30 @@ pub fn run_cli(smoke: bool) {
             summary.retries,
             summary.abandoned,
         );
+        println!("latency ({groups} vgroups): {}", summary.latency.to_line());
+        println!(
+            "dataplane ({groups} vgroups): {} unroutable drops (kill -> failover window), \
+             {} writes bounced off blocked groups, {} version regressions",
+            summary.unroutable, summary.blocked, summary.version_regressions,
+        );
+        let hops = report.trace_summary();
+        if let Some(path) = hops.dominant_path() {
+            println!(
+                "traces ({groups} vgroups): {} sampled; dominant path {}\n",
+                hops.traces,
+                netchain_telemetry::path_to_string(path),
+            );
+        }
         assert_eq!(summary.abandoned, 0, "every op must survive the failure");
+        assert_eq!(
+            summary.version_regressions, 0,
+            "replies must never travel backwards in chain version"
+        );
+        export_run(&mut artifact, groups, &summary, &report);
         summaries.push(summary);
+    }
+    if let Some(path) = artifact.write() {
+        println!("artifact: {}", path.display());
     }
     let coarse = summaries[0];
     let fine = summaries[summaries.len() - 1];
@@ -238,11 +343,18 @@ mod tests {
             num_keys: 256,
             ..Default::default()
         };
-        let (_, one) = failover_live(params, 1);
-        let (_, many) = failover_live(params, 16);
+        let (_, one, one_report) = failover_live(params, 1);
+        let (_, many, _) = failover_live(params, 16);
         assert_eq!(one.abandoned, 0, "{one:?}");
         assert_eq!(many.abandoned, 0, "{many:?}");
+        assert_eq!(one.version_regressions, 0, "{one:?}");
         assert!(one.pre_failure > 0.0 && many.pre_failure > 0.0);
+        // Telemetry rides along: real latency quantiles and sampled traces.
+        assert!(one.latency.count > 0 && one.latency.p999_ns >= one.latency.p50_ns);
+        assert!(
+            !one_report.traces.is_empty(),
+            "sampling 1/64 must catch some"
+        );
         // The structural claim (Figure 10): fine-grained repair blocks a
         // strictly smaller throughput fraction than one big group.
         assert!(

@@ -41,6 +41,7 @@ pub mod fig11;
 pub mod fig9;
 pub mod series;
 pub mod table1;
+pub mod telemetry_overhead;
 pub mod zk;
 
 pub use capacity::CapacityModel;

@@ -21,7 +21,9 @@ use crate::ring::{ring, Consumer, Producer};
 use crate::shard::Shard;
 use crate::stats::{CapacityReport, ClientReport, FabricReport, ShardStats};
 use netchain_core::HashRing;
+use netchain_sim::SimTime;
 use netchain_switch::PipelineConfig;
+use netchain_telemetry::{merge_traces, HistSnapshot, PacketTrace, TraceConfig};
 use netchain_wire::{BatchEncoder, Ipv4Addr, Key, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -54,6 +56,9 @@ pub struct FabricConfig {
     pub ring_capacity: usize,
     /// Frames pulled/processed per burst.
     pub burst: usize,
+    /// In-band trace sampling. [`TraceConfig::OFF`] (the default) keeps the
+    /// data plane byte-for-byte on its old path.
+    pub trace: TraceConfig,
 }
 
 impl FabricConfig {
@@ -70,7 +75,14 @@ impl FabricConfig {
             ring_seed: 7,
             ring_capacity: 256,
             burst: 32,
+            trace: TraceConfig::OFF,
         }
+    }
+
+    /// Returns a copy with the given trace sampling config.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Returns a copy with the given chain length.
@@ -190,6 +202,9 @@ pub fn run_live(config: FabricConfig, workload: WorkloadSpec) -> FabricReport {
         let done = Arc::clone(&done_clients);
         let burst = config.burst;
         let num_clients = config.num_clients;
+        if config.trace.enabled {
+            shard.enable_tracing(config.trace, start);
+        }
         let handle = std::thread::Builder::new()
             .name(format!("fabric-shard-{s}"))
             .spawn(move || {
@@ -232,7 +247,7 @@ pub fn run_live(config: FabricConfig, workload: WorkloadSpec) -> FabricReport {
                         std::thread::yield_now();
                     }
                 }
-                (shard.id(), *shard.stats())
+                (shard.id(), *shard.stats(), shard.take_traces())
             })
             .expect("spawn shard thread");
         shard_handles.push(handle);
@@ -250,6 +265,9 @@ pub fn run_live(config: FabricConfig, workload: WorkloadSpec) -> FabricReport {
             .name(format!("fabric-client-{c}"))
             .spawn(move || {
                 let mut client = ClientState::new(c as u32, &ring_clone, workload);
+                if cfg.trace.enabled {
+                    client.enable_tracing(cfg.trace);
+                }
                 let mut parked: Option<(usize, Frame)> = None;
                 let mut reply_buf: Vec<Frame> = Vec::with_capacity(cfg.burst);
                 // Stall watchdog: clients have no retransmission, so a query
@@ -267,9 +285,12 @@ pub fn run_live(config: FabricConfig, workload: WorkloadSpec) -> FabricReport {
                             Err(back) => parked = Some((s, back)),
                         }
                     }
-                    // Fill the window.
+                    // Fill the window. The agent clock is wall-clock
+                    // nanoseconds since the run started, so the per-query
+                    // issue→reply latencies in the report are real.
                     while parked.is_none() && client.can_issue() {
-                        let pkt = client.issue();
+                        let now = SimTime(start.elapsed().as_nanos() as u64);
+                        let pkt = client.issue_at(now);
                         let s = cfg.shard_of(&ring_clone, &pkt.netchain.key);
                         let frame = Frame::from_packet(&pkt).expect("queries fit in a frame");
                         match tx[s].push(frame) {
@@ -282,8 +303,9 @@ pub fn run_live(config: FabricConfig, workload: WorkloadSpec) -> FabricReport {
                         reply_buf.clear();
                         if shard_rx.pop_batch(&mut reply_buf, cfg.burst) > 0 {
                             progressed = true;
+                            let now = SimTime(start.elapsed().as_nanos() as u64);
                             for frame in &reply_buf {
-                                client.absorb_reply(frame.as_bytes());
+                                client.absorb_reply_at(now, frame.as_bytes());
                             }
                         }
                     }
@@ -303,21 +325,31 @@ pub fn run_live(config: FabricConfig, workload: WorkloadSpec) -> FabricReport {
                     }
                 }
                 done.fetch_add(1, Ordering::Release);
-                client.report()
+                (
+                    client.report(),
+                    client.latency_snapshot(),
+                    client.take_traces(),
+                )
             })
             .expect("spawn client thread");
         client_handles.push(handle);
     }
 
-    let clients: Vec<ClientReport> = client_handles
-        .into_iter()
-        .map(|h| h.join().expect("client thread panicked"))
-        .collect();
+    let mut clients: Vec<ClientReport> = Vec::with_capacity(config.num_clients);
+    let mut latency = HistSnapshot::empty();
+    let mut trace_fragments: Vec<PacketTrace> = Vec::new();
+    for handle in client_handles {
+        let (report, lat, traces) = handle.join().expect("client thread panicked");
+        clients.push(report);
+        latency.merge(&lat);
+        trace_fragments.extend(traces);
+    }
     let elapsed = start.elapsed();
     let mut shard_stats = vec![ShardStats::default(); config.num_shards];
     for handle in shard_handles {
-        let (id, stats) = handle.join().expect("shard thread panicked");
+        let (id, stats, traces) = handle.join().expect("shard thread panicked");
         shard_stats[id] = stats;
+        trace_fragments.extend(traces);
     }
     let completed_ops: u64 = clients.iter().map(|c| c.completed).sum();
     FabricReport {
@@ -326,6 +358,8 @@ pub fn run_live(config: FabricConfig, workload: WorkloadSpec) -> FabricReport {
         ops_per_sec: completed_ops as f64 / elapsed.as_secs_f64().max(1e-12),
         shards: shard_stats,
         clients,
+        latency,
+        traces: merge_traces(trace_fragments),
     }
 }
 
@@ -340,6 +374,12 @@ pub fn run_capacity(config: FabricConfig, workload: WorkloadSpec) -> CapacityRep
     assert!(config.num_shards > 0);
     let ring_def = config.build_ring();
     let mut shards = build_shards(&config, &workload);
+    if config.trace.enabled {
+        let t0 = Instant::now();
+        for shard in &mut shards {
+            shard.enable_tracing(config.trace, t0);
+        }
+    }
 
     // Generate and steer the op stream (untimed).
     let mut client = ClientState::new(0, &ring_def, workload);
@@ -379,6 +419,7 @@ pub fn run_capacity(config: FabricConfig, workload: WorkloadSpec) -> CapacityRep
             .push(frames.len() as f64 / busy.as_secs_f64().max(1e-12));
     }
     report.replies = reply_count;
+    report.traces = merge_traces(shards.iter_mut().flat_map(|s| s.take_traces()));
     report.total_ops = report.shard_ops.iter().sum();
     let makespan = report
         .shard_busy
@@ -418,6 +459,48 @@ mod tests {
         assert_eq!(drops, 0);
         let unroutable: u64 = report.shards.iter().map(|s| s.unroutable).sum();
         assert_eq!(unroutable, 0);
+    }
+
+    #[test]
+    fn live_run_records_latency_and_traces() {
+        let config = FabricConfig {
+            num_shards: 2,
+            ring_capacity: 128,
+            ..FabricConfig::new(2)
+        }
+        .with_trace(TraceConfig::sampled(2, 4096));
+        let workload = WorkloadSpec::uniform_read(64, 1_000);
+        let report = run_live(config, workload);
+        assert_eq!(report.completed_ops, 1_000);
+        // Every completed op records a latency sample.
+        assert_eq!(report.latency.count(), 1_000);
+        assert!(report.latency.quantile(0.99).unwrap() >= report.latency.quantile(0.5).unwrap());
+        // ~1/4 sampling: plenty of traces survive.
+        assert!(
+            report.traces.len() > 100,
+            "expected sampled traces, got {}",
+            report.traces.len()
+        );
+        let summary = report.trace_summary();
+        // Reads traverse the chain from the tail: client, then at least one
+        // switch hop, then back at the client.
+        let path = summary.dominant_path().expect("traces were recorded");
+        assert!(path.len() >= 3, "path too short: {path:?}");
+        let client_ip = u32::from_be_bytes(Ipv4Addr::for_host(0).0);
+        assert_eq!(path.first(), Some(&client_ip));
+        assert_eq!(path.last(), Some(&client_ip));
+        assert!(!summary.transitions.is_empty());
+    }
+
+    #[test]
+    fn capacity_run_traces_shard_hops() {
+        let config = FabricConfig::new(2).with_trace(TraceConfig::sampled(3, 1024));
+        let workload = WorkloadSpec::mixed(64, 2_000, 50, 50);
+        let report = run_capacity(config, workload);
+        assert_eq!(report.total_ops, 2_000);
+        assert!(!report.traces.is_empty());
+        // Writes traverse head → mid → tail: some trace must have >= 3 hops.
+        assert!(report.traces.iter().any(|t| t.hops.len() >= 3));
     }
 
     #[test]

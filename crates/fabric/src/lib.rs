@@ -70,4 +70,6 @@ pub use frame::{Frame, MAX_FRAME_LEN};
 pub use loadgen::{ClientState, WorkloadSpec};
 pub use ring::{ring as spsc_ring, Consumer, Producer};
 pub use shard::{client_id_of, shard_of_key, Shard};
-pub use stats::{CapacityReport, ClientReport, FabricReport, ShardStats};
+pub use stats::{
+    CapacityReport, ClientReport, FabricReport, ShardStats, CLIENT_METRICS, SHARD_METRICS,
+};

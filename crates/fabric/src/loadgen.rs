@@ -11,6 +11,9 @@
 use crate::stats::ClientReport;
 use netchain_core::{AgentConfig, AgentCore, ChainDirectory, HashRing, KvOp};
 use netchain_sim::SimTime;
+use netchain_telemetry::{
+    trace_id, HistSnapshot, LatencyHistogram, PacketTrace, TraceConfig, TraceSink,
+};
 use netchain_wire::{Ipv4Addr, Key, NetChainPacket, PacketView, QueryStatus, Value};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -73,6 +76,13 @@ pub struct ClientState {
     /// Monotonically increasing write payloads, so every write is distinct.
     write_counter: u64,
     report: ClientReport,
+    /// Issue→reply latency of completed queries, recorded from the agent's
+    /// per-query measurement. Meaningful when the timed API
+    /// ([`ClientState::issue_at`] / [`ClientState::absorb_reply_at`]) feeds
+    /// real clocks; logical-clock callers just accumulate tick counts.
+    latency: LatencyHistogram,
+    /// In-band trace stamping (client hop), when enabled.
+    tracer: Option<TraceSink>,
 }
 
 impl ClientState {
@@ -100,12 +110,39 @@ impl ClientState {
             clock: 0,
             write_counter: 0,
             report: ClientReport::default(),
+            latency: LatencyHistogram::new(),
+            tracer: None,
         }
     }
 
     /// This client's id.
     pub fn id(&self) -> u32 {
         self.id
+    }
+
+    /// This client's IP as a big-endian u32 (the trace hop identity).
+    fn ip_u32(&self) -> u32 {
+        u32::from_be_bytes(Ipv4Addr::for_host(self.id).0)
+    }
+
+    /// Turns on in-band trace stamping: sampled queries get a client-side
+    /// stamp at issue and at reply absorption.
+    pub fn enable_tracing(&mut self, config: TraceConfig) {
+        self.tracer = Some(TraceSink::new(config));
+    }
+
+    /// Drains the traces recorded so far (fragments; merge with the shard
+    /// sinks' fragments via `netchain_telemetry::merge_traces`).
+    pub fn take_traces(&mut self) -> Vec<PacketTrace> {
+        self.tracer
+            .as_mut()
+            .map(TraceSink::drain)
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of the issue→reply latency distribution.
+    pub fn latency_snapshot(&self) -> HistSnapshot {
+        self.latency.snapshot()
     }
 
     /// The counters accumulated so far (version regressions are read live
@@ -180,8 +217,12 @@ impl ClientState {
     pub fn issue_at(&mut self, now: SimTime) -> NetChainPacket {
         debug_assert!(self.can_issue());
         let op = self.sample_op();
-        let (_, pkt) = self.agent.begin(now, op);
+        let (request_id, pkt) = self.agent.begin(now, op);
         self.report.issued += 1;
+        let ip = self.ip_u32();
+        if let Some(tracer) = &mut self.tracer {
+            tracer.stamp(trace_id(ip, request_id), ip, now.as_nanos());
+        }
         pkt
     }
 
@@ -220,10 +261,17 @@ impl ClientState {
         match self.agent.on_reply(now, pkt) {
             Some(done) => {
                 self.report.completed += 1;
+                self.latency.record(done.latency.as_nanos());
                 match done.status {
                     Some(QueryStatus::Ok) => self.report.ok += 1,
                     Some(QueryStatus::CasFailed) => self.report.cas_failed += 1,
                     _ => {}
+                }
+                let ip = self.ip_u32();
+                if let Some(tracer) = &mut self.tracer {
+                    let id = trace_id(ip, done.request_id);
+                    tracer.stamp(id, ip, now.as_nanos());
+                    tracer.finish(id);
                 }
                 true
             }

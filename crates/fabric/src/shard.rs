@@ -52,6 +52,7 @@ use netchain_switch::kv::ExportedEntry;
 use netchain_switch::{
     DropReason, FailoverRule, NetChainSwitch, PipelineConfig, RuleScope, SwitchAction,
 };
+use netchain_telemetry::{trace_id, PacketTrace, TraceConfig, TraceSink};
 use netchain_wire::{BatchEncoder, Ipv4Addr, Key, NetChainPacket, PacketView, Value};
 use std::collections::{HashMap, HashSet};
 
@@ -95,6 +96,15 @@ pub struct Shard {
     actions: Vec<SwitchAction>,
     /// Retired packets whose allocations the parse path reuses.
     pool: Vec<NetChainPacket>,
+    /// In-band per-hop trace stamping, when enabled. `None` keeps the data
+    /// plane exactly as before: one branch per wave group and nothing else.
+    tracer: Option<ShardTracer>,
+}
+
+/// Shard-side trace recorder: a sink plus the run's wall-clock origin.
+struct ShardTracer {
+    sink: TraceSink,
+    t0: std::time::Instant,
 }
 
 impl Shard {
@@ -134,7 +144,27 @@ impl Shard {
             group: Vec::new(),
             actions: Vec::new(),
             pool: Vec::new(),
+            tracer: None,
         }
+    }
+
+    /// Turns on in-band trace stamping: every wave group handed to a switch
+    /// stamps its sampled packets with that switch's IP and the wall-clock
+    /// offset from `t0` (shared by all shards and clients of a run, so
+    /// stamps from different threads are comparable).
+    pub fn enable_tracing(&mut self, config: TraceConfig, t0: std::time::Instant) {
+        self.tracer = Some(ShardTracer {
+            sink: TraceSink::new(config),
+            t0,
+        });
+    }
+
+    /// Drains the trace fragments recorded by this shard.
+    pub fn take_traces(&mut self) -> Vec<PacketTrace> {
+        self.tracer
+            .as_mut()
+            .map(|t| t.sink.drain())
+            .unwrap_or_default()
     }
 
     /// This shard's index.
@@ -319,6 +349,16 @@ impl Shard {
                 } else {
                     Some(dst)
                 };
+                if let (Some(tracer), Some(hop)) = (&mut self.tracer, target) {
+                    // One clock read per wave group; the stamp itself is a
+                    // no-op for unsampled trace IDs.
+                    let hop_ip = u32::from_be_bytes(hop.0);
+                    let at_ns = tracer.t0.elapsed().as_nanos() as u64;
+                    for p in &self.group {
+                        let id = trace_id(u32::from_be_bytes(p.ip.src.0), p.netchain.request_id);
+                        tracer.sink.stamp(id, hop_ip, at_ns);
+                    }
+                }
                 match target.and_then(|ip| self.switches.get_mut(&ip)) {
                     Some(sw) => {
                         self.actions.clear();
@@ -328,6 +368,15 @@ impl Shard {
                                 SwitchAction::Forward(p) => {
                                     if p.netchain.op.is_reply() {
                                         self.stats.replies += 1;
+                                        if let Some(tracer) = &mut self.tracer {
+                                            // Replies carry the client in
+                                            // `ip.dst`; close the shard-side
+                                            // fragment.
+                                            tracer.sink.finish(trace_id(
+                                                u32::from_be_bytes(p.ip.dst.0),
+                                                p.netchain.request_id,
+                                            ));
+                                        }
                                         replies.push(&p).expect("replies are bounded like queries");
                                         if self.pool.len() < POOL_MAX {
                                             self.pool.push(p);

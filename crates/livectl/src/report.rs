@@ -2,6 +2,7 @@
 //! the controller's phase timeline.
 
 use netchain_fabric::{ClientReport, ShardStats};
+use netchain_telemetry::{HistSnapshot, Journal, PacketTrace, TraceSummary};
 use std::time::Duration;
 
 /// When each control-plane phase happened, as offsets from run start, plus
@@ -30,6 +31,30 @@ pub struct FailoverTimeline {
     pub groups_repaired: usize,
 }
 
+impl FailoverTimeline {
+    /// The timeline as a telemetry [`Journal`]: the same phase structure the
+    /// simulated controller records, so live and simulated runs export
+    /// comparable span records.
+    pub fn journal(&self) -> Journal {
+        let mut journal = Journal::default();
+        journal.instant("killed", self.killed_at.as_nanos() as u64);
+        journal.span(
+            "fast-failover",
+            self.failover_started_at.as_nanos() as u64,
+            self.failover_installed_at.as_nanos() as u64,
+        );
+        journal.span(
+            "repair",
+            self.repair_started_at.as_nanos() as u64,
+            self.repair_finished_at.as_nanos() as u64,
+        );
+        for (i, at) in self.group_activations.iter().enumerate() {
+            journal.instant(format!("activate-group:{i}"), at.as_nanos() as u64);
+        }
+        journal
+    }
+}
+
 /// The result of a live-controlled run.
 #[derive(Debug, Clone, Default)]
 pub struct LiveReport {
@@ -48,6 +73,12 @@ pub struct LiveReport {
     pub clients: Vec<ClientReport>,
     /// Per-shard dataplane counters.
     pub shards: Vec<ShardStats>,
+    /// Issue→reply latency distribution, merged over clients (real
+    /// wall-clock nanoseconds; the live runner feeds the timed client API).
+    pub latency: HistSnapshot,
+    /// Merged in-band per-hop traces (client + shard fragments), when
+    /// tracing was enabled in the fabric config.
+    pub traces: Vec<PacketTrace>,
     /// The controller's phase timeline (present when a fault script ran).
     pub timeline: Option<FailoverTimeline>,
 }
@@ -86,6 +117,29 @@ impl LiveReport {
     /// run — every op eventually completes through failover and repair).
     pub fn total_abandoned(&self) -> u64 {
         self.clients.iter().map(|c| c.abandoned).sum()
+    }
+
+    /// Total version regressions observed by clients (must be zero: replies
+    /// never travel backwards in chain version).
+    pub fn total_version_regressions(&self) -> u64 {
+        self.clients.iter().map(|c| c.version_regressions).sum()
+    }
+
+    /// Queries dropped for lack of a route, summed over shards (nonzero
+    /// during the window between a kill and the failover rules landing).
+    pub fn total_unroutable(&self) -> u64 {
+        self.shards.iter().map(|s| s.unroutable).sum()
+    }
+
+    /// Writes bounced off blocked groups during repair, summed over shards.
+    pub fn total_blocked(&self) -> u64 {
+        self.shards.iter().map(|s| s.blocked).sum()
+    }
+
+    /// Aggregates the recorded traces into per-path counts and per-hop
+    /// latency transitions.
+    pub fn trace_summary(&self) -> TraceSummary {
+        TraceSummary::from_traces(&self.traces)
     }
 }
 

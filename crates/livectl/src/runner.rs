@@ -26,6 +26,7 @@ use netchain_fabric::{
     build_shards, spsc_ring, ClientState, Consumer, FabricConfig, Frame, Producer, WorkloadSpec,
 };
 use netchain_sim::{SimDuration, SimTime};
+use netchain_telemetry::{merge_traces, HistSnapshot, TimeSeries};
 use netchain_wire::{BatchEncoder, Ipv4Addr};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -336,6 +337,9 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
     // Shard workers: dataplane bursts + control-command draining in between.
     let mut shard_handles = Vec::new();
     for (s, mut shard) in shards.into_iter().enumerate() {
+        if fabric.trace.enabled {
+            shard.enable_tracing(fabric.trace, t0);
+        }
         let mut ingress = std::mem::take(&mut query_rx[s]);
         let mut egress = std::mem::take(&mut reply_tx[s]);
         let mut cmd_rx = ctrl_cmd_rx.remove(0);
@@ -404,7 +408,7 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
                         std::thread::yield_now();
                     }
                 }
-                (shard.id(), *shard.stats())
+                (shard.id(), *shard.stats(), shard.take_traces())
             })
             .expect("spawn shard thread");
         shard_handles.push(handle);
@@ -429,11 +433,13 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
                 wl.ops_per_client = u64::MAX;
                 let mut client =
                     ClientState::with_agent_config(c as u32, &ring_clone, wl, agent_config);
+                if cfg.fabric.trace.enabled {
+                    client.enable_tracing(cfg.fabric.trace);
+                }
                 let deadline = t0 + cfg.duration;
                 let hard_stop = deadline + DRAIN_GRACE;
                 let slice_nanos = cfg.slice.as_nanos() as u64;
-                let mut slices: Vec<u64> =
-                    vec![0; (cfg.duration.as_nanos() as u64 / slice_nanos + 2) as usize];
+                let mut slices = TimeSeries::new(slice_nanos);
                 let mut pending: VecDeque<(usize, Frame)> = VecDeque::new();
                 let mut reply_buf: Vec<Frame> = Vec::with_capacity(cfg.fabric.burst);
                 let mut next_retry_poll = t0 + cfg.retry_timeout;
@@ -469,11 +475,7 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
                             progressed = true;
                             for frame in &reply_buf {
                                 if client.absorb_reply_at(now_st, frame.as_bytes()) {
-                                    let idx = (elapsed.as_nanos() as u64 / slice_nanos) as usize;
-                                    if idx >= slices.len() {
-                                        slices.resize(idx + 1, 0);
-                                    }
-                                    slices[idx] += 1;
+                                    slices.record(elapsed.as_nanos() as u64);
                                 }
                             }
                         }
@@ -504,7 +506,9 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
                 }
                 exited[c].store(true, Ordering::Release);
                 done.fetch_add(1, Ordering::Release);
-                (client.report(), slices)
+                let latency = client.latency_snapshot();
+                let traces = client.take_traces();
+                (client.report(), slices, latency, traces)
             })
             .expect("spawn client thread");
         client_handles.push(handle);
@@ -524,33 +528,36 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
         timeline
     });
 
-    let mut slices: Vec<u64> = Vec::new();
+    let mut slices = TimeSeries::new(config.slice.as_nanos() as u64);
     let mut clients = Vec::new();
+    let mut latency = HistSnapshot::empty();
+    let mut trace_fragments = Vec::new();
     for handle in client_handles {
-        let (report, client_slices) = handle.join().expect("client thread panicked");
+        let (report, client_slices, client_latency, traces) =
+            handle.join().expect("client thread panicked");
         clients.push(report);
-        if client_slices.len() > slices.len() {
-            slices.resize(client_slices.len(), 0);
-        }
-        for (i, n) in client_slices.into_iter().enumerate() {
-            slices[i] += n;
-        }
+        slices.merge(&client_slices);
+        latency.merge(&client_latency);
+        trace_fragments.extend(traces);
     }
     let elapsed = t0.elapsed();
     let mut shard_stats = vec![Default::default(); fabric.num_shards];
     for handle in shard_handles {
-        let (id, stats) = handle.join().expect("shard thread panicked");
+        let (id, stats, traces) = handle.join().expect("shard thread panicked");
         shard_stats[id] = stats;
+        trace_fragments.extend(traces);
     }
     let completed_ops: u64 = clients.iter().map(|c| c.completed).sum();
     LiveReport {
         elapsed,
         slice: config.slice,
-        slices,
+        slices: slices.counts().to_vec(),
         completed_ops,
         ops_per_sec: completed_ops as f64 / elapsed.as_secs_f64().max(1e-12),
         clients,
         shards: shard_stats,
+        latency,
+        traces: merge_traces(trace_fragments),
         timeline,
     }
 }

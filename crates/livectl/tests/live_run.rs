@@ -40,10 +40,13 @@ fn live_run_without_faults_completes_cleanly() {
         assert_eq!(client.version_regressions, 0);
         assert_eq!(client.abandoned, 0);
     }
-    let unroutable: u64 = report.shards.iter().map(|s| s.unroutable).sum();
-    assert_eq!(unroutable, 0);
-    let blocked: u64 = report.shards.iter().map(|s| s.blocked).sum();
-    assert_eq!(blocked, 0);
+    assert_eq!(report.total_unroutable(), 0);
+    assert_eq!(report.total_blocked(), 0);
+    // Latency is always recorded (wall-clock, via the timed client API).
+    assert_eq!(report.latency.count(), report.completed_ops);
+    assert!(report.latency.quantiles().p999_ns >= report.latency.quantiles().p50_ns);
+    // Tracing was off, so no trace fragments were produced.
+    assert!(report.traces.is_empty());
 }
 
 #[test]
@@ -58,7 +61,7 @@ fn scripted_failure_fails_over_and_repairs_live() {
         replacement: None, // the spare
     };
     let config = LiveConfig::new(
-        small_fabric(),
+        small_fabric().with_trace(netchain_telemetry::TraceConfig::sampled(4, 2048)),
         WorkloadSpec::mixed(128, 0, 50, 50),
         Duration::from_millis(1_100),
     )
@@ -104,5 +107,28 @@ fn scripted_failure_fails_over_and_repairs_live() {
     assert!(
         post > pre * 0.5,
         "throughput must recover after repair: pre={pre:.0} post={post:.0}"
+    );
+
+    // Telemetry rode along: real latency quantiles, sampled per-hop traces
+    // (client issue hop → chain hops → client reply hop), and a journal
+    // whose spans mirror the timeline.
+    assert_eq!(report.latency.count(), report.completed_ops);
+    assert!(!report.traces.is_empty(), "1/16 sampling must catch traces");
+    let summary = report.trace_summary();
+    let path = summary.dominant_path().expect("some complete path");
+    assert!(path.len() >= 3, "client + at least one switch + client");
+    let journal = timeline.journal();
+    let failover = journal.find_span("fast-failover").expect("span recorded");
+    assert_eq!(
+        failover.duration_ns(),
+        Some(timeline.failover_install_time.as_nanos() as u64)
+    );
+    assert_eq!(
+        journal
+            .instants()
+            .iter()
+            .filter(|i| i.name.starts_with("activate-group:"))
+            .count(),
+        8
     );
 }

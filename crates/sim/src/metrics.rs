@@ -35,11 +35,11 @@ impl Counter {
 /// Counts events into fixed-width time buckets and reports a rate series.
 ///
 /// This is how the failure-handling experiment reproduces the "throughput
-/// time series of one client server" plots (Figure 10).
+/// time series of one client server" plots (Figure 10). The bucketing engine
+/// lives in `netchain-telemetry`; this type adapts it to simulator time.
 #[derive(Debug, Clone)]
 pub struct ThroughputSeries {
-    bucket_width: SimDuration,
-    buckets: Vec<u64>,
+    series: netchain_telemetry::TimeSeries,
 }
 
 impl ThroughputSeries {
@@ -47,48 +47,38 @@ impl ThroughputSeries {
     pub fn new(bucket_width: SimDuration) -> Self {
         assert!(bucket_width.as_nanos() > 0, "bucket width must be non-zero");
         ThroughputSeries {
-            bucket_width,
-            buckets: Vec::new(),
+            series: netchain_telemetry::TimeSeries::new(bucket_width.as_nanos()),
         }
     }
 
     /// Records one event at simulated time `at`.
     pub fn record(&mut self, at: SimTime) {
-        self.record_n(at, 1);
+        self.series.record(at.as_nanos());
     }
 
     /// Records `n` events at simulated time `at`.
     pub fn record_n(&mut self, at: SimTime, n: u64) {
-        let idx = (at.as_nanos() / self.bucket_width.as_nanos()) as usize;
-        if idx >= self.buckets.len() {
-            self.buckets.resize(idx + 1, 0);
-        }
-        self.buckets[idx] += n;
+        self.series.record_n(at.as_nanos(), n);
     }
 
     /// Total events recorded.
     pub fn total(&self) -> u64 {
-        self.buckets.iter().sum()
+        self.series.total()
     }
 
     /// The series as `(bucket start time in seconds, events per second)`.
     pub fn rate_series(&self) -> Vec<(f64, f64)> {
-        let width_s = self.bucket_width.as_secs_f64();
-        self.buckets
-            .iter()
-            .enumerate()
-            .map(|(i, &count)| (i as f64 * width_s, count as f64 / width_s))
-            .collect()
+        self.series.rate_series()
     }
 
     /// Average rate (events per second) over `[0, end]`.
     pub fn average_rate(&self, end: SimTime) -> f64 {
-        let secs = end.as_secs_f64();
-        if secs <= 0.0 {
-            0.0
-        } else {
-            self.total() as f64 / secs
-        }
+        self.series.average_rate(end.as_nanos())
+    }
+
+    /// The underlying telemetry series, for exporters.
+    pub fn inner(&self) -> &netchain_telemetry::TimeSeries {
+        &self.series
     }
 }
 

@@ -1,0 +1,352 @@
+//! Structured run exports: a dependency-free JSON value tree and a
+//! JSON-lines artifact writer.
+//!
+//! Every experiment bin emits one `BENCH_<name>.jsonl` file — one JSON
+//! object per line, each line a self-describing record (`"record"` key names
+//! its kind) — so perf can be tracked and diffed across PRs with ordinary
+//! text tooling. The output directory is `$NETCHAIN_ARTIFACT_DIR` when set,
+//! else the current directory.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use crate::hist::Quantiles;
+use crate::journal::Journal;
+use crate::trace::{ip_to_string, path_to_string, TraceSummary};
+
+/// A JSON value. The repo builds without serde (offline, no new deps), so
+/// this mirrors the hand-rolled rendering already used by
+/// `netchain-experiments::series`, but as a reusable tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (covers every counter in the repo).
+    U64(u64),
+    /// Floating point; non-finite values render as `null`.
+    F64(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Renders to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<Quantiles> for Json {
+    fn from(q: Quantiles) -> Json {
+        Json::obj(vec![
+            ("count", Json::U64(q.count)),
+            ("mean_ns", Json::F64(q.mean_ns)),
+            ("min_ns", Json::U64(q.min_ns)),
+            ("p50_ns", Json::U64(q.p50_ns)),
+            ("p90_ns", Json::U64(q.p90_ns)),
+            ("p99_ns", Json::U64(q.p99_ns)),
+            ("p999_ns", Json::U64(q.p999_ns)),
+            ("max_ns", Json::U64(q.max_ns)),
+        ])
+    }
+}
+
+impl From<&Journal> for Json {
+    fn from(j: &Journal) -> Json {
+        Json::obj(vec![
+            (
+                "instants",
+                Json::Arr(
+                    j.instants()
+                        .iter()
+                        .map(|i| {
+                            Json::obj(vec![
+                                ("name", Json::str(&i.name)),
+                                ("at_ns", Json::U64(i.at_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "spans",
+                Json::Arr(
+                    j.spans()
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("name", Json::str(&s.name)),
+                                ("start_ns", Json::U64(s.start_ns)),
+                                ("end_ns", s.end_ns.map(Json::U64).unwrap_or(Json::Null)),
+                                (
+                                    "duration_ns",
+                                    s.duration_ns().map(Json::U64).unwrap_or(Json::Null),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl From<&TraceSummary> for Json {
+    fn from(s: &TraceSummary) -> Json {
+        Json::obj(vec![
+            ("traces", Json::U64(s.traces as u64)),
+            (
+                "paths",
+                Json::Arr(
+                    s.paths
+                        .iter()
+                        .map(|(p, n)| {
+                            Json::obj(vec![
+                                ("path", Json::str(path_to_string(p))),
+                                ("count", Json::U64(*n as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "transitions",
+                Json::Arr(
+                    s.transitions
+                        .iter()
+                        .map(|t| {
+                            Json::obj(vec![
+                                ("from", Json::str(ip_to_string(t.from_ip))),
+                                ("to", Json::str(ip_to_string(t.to_ip))),
+                                ("latency", Json::from(t.quantiles())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Where artifacts land: `$NETCHAIN_ARTIFACT_DIR` if set, else the current
+/// directory.
+pub fn artifact_dir() -> PathBuf {
+    std::env::var_os("NETCHAIN_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Accumulates JSON-lines records for one run and writes them as
+/// `BENCH_<name>.jsonl`.
+#[derive(Debug)]
+pub struct ArtifactWriter {
+    name: String,
+    records: Vec<Json>,
+}
+
+impl ArtifactWriter {
+    /// Starts an artifact named `name` (file: `BENCH_<name>.jsonl`).
+    pub fn new(name: impl Into<String>) -> Self {
+        ArtifactWriter {
+            name: name.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one record. By convention the object carries a `"record"` key
+    /// naming its kind (`"summary"`, `"latency"`, `"spans"`, `"hops"`, ...).
+    pub fn record(&mut self, kind: &str, mut fields: Vec<(&str, Json)>) {
+        fields.insert(0, ("record", Json::str(kind)));
+        self.records.push(Json::obj(fields));
+    }
+
+    /// Number of records queued.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records were queued.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Renders all records as JSON-lines text.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `BENCH_<name>.jsonl` into [`artifact_dir`], returning the
+    /// path. Errors are reported, not fatal: a read-only filesystem must
+    /// not fail an experiment run.
+    pub fn write(&self) -> Option<PathBuf> {
+        let path = artifact_dir().join(format!("BENCH_{}.jsonl", self.name));
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&path)?;
+            f.write_all(self.to_jsonl().as_bytes())
+        };
+        match write() {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: could not write artifact {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+
+    #[test]
+    fn json_rendering() {
+        let j = Json::obj(vec![
+            ("n", Json::U64(3)),
+            ("rate", Json::F64(1.5)),
+            ("name", Json::str("a \"b\"\n")),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            ("xs", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"n":3,"rate":1.5,"name":"a \"b\"\n","flag":true,"none":null,"xs":[1,2]}"#
+        );
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn quantiles_to_json_has_all_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let j = Json::from(h.snapshot().quantiles());
+        let text = j.render();
+        for key in ["\"p50_ns\"", "\"p99_ns\"", "\"p999_ns\"", "\"count\":1000"] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+
+    #[test]
+    fn journal_to_json() {
+        let mut j = Journal::new();
+        j.instant("kill", 10);
+        j.span("repair", 20, 50);
+        let text = Json::from(&j).render();
+        assert!(text.contains("\"name\":\"kill\""));
+        assert!(text.contains("\"duration_ns\":30"));
+    }
+
+    #[test]
+    fn artifact_writer_emits_one_record_per_line() {
+        let mut w = ArtifactWriter::new("test");
+        assert!(w.is_empty());
+        w.record("summary", vec![("ops", Json::U64(10))]);
+        w.record("latency", vec![("p50_ns", Json::U64(100))]);
+        assert_eq!(w.len(), 2);
+        let text = w.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"record":"summary""#));
+        assert!(lines[1].starts_with(r#"{"record":"latency""#));
+    }
+
+    #[test]
+    fn artifact_writes_to_env_dir() {
+        let dir =
+            std::env::temp_dir().join(format!("netchain-telemetry-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("NETCHAIN_ARTIFACT_DIR", &dir);
+        let mut w = ArtifactWriter::new("env-test");
+        w.record("summary", vec![("x", Json::U64(1))]);
+        let path = w.write().unwrap();
+        std::env::remove_var("NETCHAIN_ARTIFACT_DIR");
+        assert!(path.starts_with(&dir));
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, "{\"record\":\"summary\",\"x\":1}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

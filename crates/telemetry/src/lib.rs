@@ -1,0 +1,39 @@
+//! netchain-telemetry: the observability layer for the NetChain repro.
+//!
+//! NetChain's headline claims are distributional — orders-of-magnitude tail
+//! latency wins, sub-millisecond failover — so measurement is a first-class
+//! subsystem here, not per-experiment glue. The crate is dependency-free and
+//! allocation-free on hot paths, and is wired through every execution mode
+//! (discrete-event simulator, multi-core fabric, live control plane):
+//!
+//! * [`hist`] — log-bucketed latency histograms ([`LatencyHistogram`]) with
+//!   mergeable snapshots ([`HistSnapshot`]) and p50/p99/p999 queries at
+//!   ≤ 3.2% relative error.
+//! * [`metrics`] — the [`Metrics`] trait putting every counter struct
+//!   (`ShardStats`, `ClientReport`, ...) behind one named-counter API, a
+//!   time-bucketed [`TimeSeries`], and lock-free [`LiveCounters`]
+//!   publication for progress readers.
+//! * [`trace`] — in-band per-hop tracing in the P4 INT spirit: the trace ID
+//!   is derived from fields every packet already carries (client IP +
+//!   request ID), so sim switches and fabric shards stamp sampled packets
+//!   without any wire-format change, and [`TraceSummary`] reports chain-hop
+//!   latency breakdowns.
+//! * [`journal`] — a general control-plane phase/span recorder
+//!   ([`Journal`]) generalising livectl's `FailoverTimeline`.
+//! * [`export`] — a dependency-free JSON tree ([`Json`]) and JSON-lines
+//!   [`ArtifactWriter`] producing `BENCH_<name>.jsonl` run artifacts.
+
+pub mod export;
+pub mod hist;
+pub mod journal;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{artifact_dir, ArtifactWriter, Json};
+pub use hist::{HistSnapshot, LatencyHistogram, Quantiles};
+pub use journal::{Journal, Span, SpanHandle};
+pub use metrics::{sum_metrics, LiveCounters, Metrics, TimeSeries};
+pub use trace::{
+    ip_to_string, merge_traces, path_to_string, trace_id, HopStamp, PacketTrace, TraceConfig,
+    TraceSink, TraceSummary,
+};

@@ -1,0 +1,426 @@
+//! In-band per-hop tracing in the spirit of P4 INT (in-band network
+//! telemetry).
+//!
+//! Real INT switches append per-hop metadata to the packet itself. This repo
+//! keeps the wire format untouched by exploiting two fields every NetChain
+//! packet already carries end-to-end: the client's source IP and the query
+//! `request_id`. Mixing the two yields a stable trace ID that the client and
+//! every switch/shard compute independently — the packet *is* the trace
+//! carrier, no extra header bytes needed. Each hop that handles a sampled
+//! packet stamps `(hop ip, timestamp)` into a local [`TraceSink`]; sinks are
+//! merged after the run and summarised into per-hop-transition latency
+//! breakdowns.
+//!
+//! Sampling is deterministic: a packet is traced iff the low `sample_shift`
+//! bits of its trace ID hash to zero, so independent observers (sim client,
+//! sim switches, fabric shards) agree on which packets are sampled without
+//! coordination.
+
+use std::collections::HashMap;
+
+use crate::hist::{HistSnapshot, LatencyHistogram, Quantiles};
+
+/// Sampling knobs for in-band tracing. `Copy` so it can ride on
+/// `FabricConfig` without ceremony.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch; when false no tracing code runs at all.
+    pub enabled: bool,
+    /// Sample 1 in `2^sample_shift` trace IDs. 0 means every packet.
+    pub sample_shift: u32,
+    /// Cap on completed traces retained per sink (oldest kept); bounds
+    /// memory on long runs.
+    pub max_traces: usize,
+}
+
+impl TraceConfig {
+    /// Tracing disabled; the fast path stays untouched.
+    pub const OFF: TraceConfig = TraceConfig {
+        enabled: false,
+        sample_shift: 0,
+        max_traces: 0,
+    };
+
+    /// Trace 1 in `2^shift` queries, keeping at most `max_traces` of them.
+    pub fn sampled(shift: u32, max_traces: usize) -> Self {
+        TraceConfig {
+            enabled: true,
+            sample_shift: shift,
+            max_traces,
+        }
+    }
+
+    /// Whether a given trace ID is selected by this config.
+    #[inline]
+    pub fn samples(&self, trace_id: u64) -> bool {
+        self.enabled && trace_id & ((1u64 << self.sample_shift) - 1) == 0
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::OFF
+    }
+}
+
+/// Derives the trace ID from the two in-band fields. splitmix64-style mixing
+/// so sampling on low bits is unbiased even for sequential request IDs.
+#[inline]
+pub fn trace_id(src_ip: u32, request_id: u64) -> u64 {
+    let mut z = (u64::from(src_ip) << 32) ^ request_id;
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// One timestamped visit to a hop. The hop is identified by the big-endian
+/// `u32` form of its IPv4 address (unit-friendly: no dependency on the wire
+/// crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopStamp {
+    /// Hop identity (IPv4 address as big-endian u32).
+    pub hop_ip: u32,
+    /// Stamp time in nanoseconds (sim time or wall-clock since run start).
+    pub at_ns: u64,
+}
+
+/// The recorded path of one sampled query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketTrace {
+    /// The mixed trace ID.
+    pub id: u64,
+    /// Hops in stamp order, client-issue first.
+    pub hops: Vec<HopStamp>,
+}
+
+impl PacketTrace {
+    /// The hop IPs in visit order (the "chain order" of the trace).
+    pub fn path(&self) -> Vec<u32> {
+        self.hops.iter().map(|h| h.hop_ip).collect()
+    }
+}
+
+/// A per-owner (client, shard, or switch) trace recorder. Stamping a trace
+/// ID that has not been seen yet begins it implicitly, so every observer can
+/// stamp unconditionally for sampled IDs.
+#[derive(Debug)]
+pub struct TraceSink {
+    config: TraceConfig,
+    active: HashMap<u64, PacketTrace>,
+    done: Vec<PacketTrace>,
+}
+
+impl TraceSink {
+    /// Creates a sink with the given sampling config.
+    pub fn new(config: TraceConfig) -> Self {
+        TraceSink {
+            config,
+            active: HashMap::new(),
+            done: Vec::new(),
+        }
+    }
+
+    /// The sampling config this sink was built with.
+    pub fn config(&self) -> TraceConfig {
+        self.config
+    }
+
+    /// Whether `id` should be stamped at all.
+    #[inline]
+    pub fn samples(&self, id: u64) -> bool {
+        self.config.samples(id)
+    }
+
+    /// Records a hop visit for `id` (no-op if the ID is not sampled).
+    #[inline]
+    pub fn stamp(&mut self, id: u64, hop_ip: u32, at_ns: u64) {
+        if !self.config.samples(id) {
+            return;
+        }
+        self.active
+            .entry(id)
+            .or_insert_with(|| PacketTrace {
+                id,
+                hops: Vec::with_capacity(4),
+            })
+            .hops
+            .push(HopStamp { hop_ip, at_ns });
+    }
+
+    /// Marks `id` complete, moving it to the finished set.
+    pub fn finish(&mut self, id: u64) {
+        if let Some(trace) = self.active.remove(&id) {
+            if self.done.len() < self.config.max_traces {
+                self.done.push(trace);
+            }
+        }
+    }
+
+    /// Drains everything recorded so far — finished traces first, then any
+    /// still-open ones (useful at end of run when replies raced shutdown).
+    pub fn drain(&mut self) -> Vec<PacketTrace> {
+        let mut out = std::mem::take(&mut self.done);
+        let mut open: Vec<PacketTrace> = self.active.drain().map(|(_, t)| t).collect();
+        open.sort_by_key(|t| t.id);
+        for t in open {
+            if out.len() >= self.config.max_traces {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+
+    /// Number of completed traces currently held.
+    pub fn finished(&self) -> usize {
+        self.done.len()
+    }
+}
+
+/// Merges per-owner trace fragments by trace ID into whole-path traces.
+/// Fragments for the same ID are concatenated and re-sorted by timestamp, so
+/// it does not matter which observer stamped which hop.
+pub fn merge_traces<I: IntoIterator<Item = PacketTrace>>(parts: I) -> Vec<PacketTrace> {
+    let mut by_id: HashMap<u64, PacketTrace> = HashMap::new();
+    for frag in parts {
+        by_id
+            .entry(frag.id)
+            .and_modify(|t| t.hops.extend_from_slice(&frag.hops))
+            .or_insert(frag);
+    }
+    let mut out: Vec<PacketTrace> = by_id.into_values().collect();
+    for t in &mut out {
+        t.hops.sort_by_key(|h| h.at_ns);
+    }
+    out.sort_by_key(|t| t.id);
+    out
+}
+
+/// Latency breakdown for one hop-to-hop transition (e.g. head → mid).
+#[derive(Debug, Clone)]
+pub struct HopTransition {
+    /// Source hop IP.
+    pub from_ip: u32,
+    /// Destination hop IP.
+    pub to_ip: u32,
+    /// Distribution of `to.at_ns - from.at_ns` across traces.
+    pub latency: HistSnapshot,
+}
+
+impl HopTransition {
+    /// Summary quantiles of the transition latency.
+    pub fn quantiles(&self) -> Quantiles {
+        self.latency.quantiles()
+    }
+}
+
+/// Aggregated view over a set of merged traces: the distinct paths seen and
+/// the latency distribution of every hop transition.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Number of traces aggregated.
+    pub traces: usize,
+    /// Distinct hop-IP paths with their occurrence counts, most common
+    /// first.
+    pub paths: Vec<(Vec<u32>, usize)>,
+    /// Per-transition latency distributions, in first-seen order.
+    pub transitions: Vec<HopTransition>,
+}
+
+impl TraceSummary {
+    /// Builds a summary from merged traces.
+    pub fn from_traces(traces: &[PacketTrace]) -> Self {
+        let mut path_counts: Vec<(Vec<u32>, usize)> = Vec::new();
+        let mut transitions: Vec<(u32, u32, LatencyHistogram)> = Vec::new();
+        for t in traces {
+            let path = t.path();
+            match path_counts.iter_mut().find(|(p, _)| *p == path) {
+                Some((_, n)) => *n += 1,
+                None => path_counts.push((path, 1)),
+            }
+            for pair in t.hops.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                let delta = b.at_ns.saturating_sub(a.at_ns);
+                match transitions
+                    .iter_mut()
+                    .find(|(f, to, _)| *f == a.hop_ip && *to == b.hop_ip)
+                {
+                    Some((_, _, h)) => h.record(delta),
+                    None => {
+                        let mut h = LatencyHistogram::new();
+                        h.record(delta);
+                        transitions.push((a.hop_ip, b.hop_ip, h));
+                    }
+                }
+            }
+        }
+        path_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        TraceSummary {
+            traces: traces.len(),
+            paths: path_counts,
+            transitions: transitions
+                .into_iter()
+                .map(|(from_ip, to_ip, h)| HopTransition {
+                    from_ip,
+                    to_ip,
+                    latency: h.snapshot(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The most common path, if any traces were recorded.
+    pub fn dominant_path(&self) -> Option<&[u32]> {
+        self.paths.first().map(|(p, _)| p.as_slice())
+    }
+}
+
+/// Renders an IPv4-as-u32 hop ID as dotted quad for human output.
+pub fn ip_to_string(ip: u32) -> String {
+    let b = ip.to_be_bytes();
+    format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+}
+
+/// Renders a hop path as `a -> b -> c` dotted quads.
+pub fn path_to_string(path: &[u32]) -> String {
+    path.iter()
+        .map(|&ip| ip_to_string(ip))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_ratioed() {
+        let cfg = TraceConfig::sampled(4, 1024);
+        let mut hits = 0;
+        for rid in 0..4096u64 {
+            let id = trace_id(0x0a000001, rid);
+            if cfg.samples(id) {
+                hits += 1;
+            }
+            // Same inputs, same decision.
+            assert_eq!(cfg.samples(id), cfg.samples(trace_id(0x0a000001, rid)));
+        }
+        // Expect roughly 4096/16 = 256; allow generous slack.
+        assert!((128..=512).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn shift_zero_samples_everything() {
+        let cfg = TraceConfig::sampled(0, 16);
+        for rid in 0..100u64 {
+            assert!(cfg.samples(trace_id(1, rid)));
+        }
+        assert!(!TraceConfig::OFF.samples(0));
+    }
+
+    #[test]
+    fn sink_auto_begins_and_finishes() {
+        let mut sink = TraceSink::new(TraceConfig::sampled(0, 8));
+        sink.stamp(7, 0x0a000001, 100);
+        sink.stamp(7, 0x0a000002, 250);
+        sink.finish(7);
+        let traces = sink.drain();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].path(), vec![0x0a000001, 0x0a000002]);
+        assert_eq!(traces[0].hops[1].at_ns, 250);
+    }
+
+    #[test]
+    fn unsampled_ids_are_ignored() {
+        let mut sink = TraceSink::new(TraceConfig::sampled(8, 8));
+        // ID with a nonzero low byte is not sampled.
+        let id = 0x1234_5601;
+        assert!(!sink.samples(id));
+        sink.stamp(id, 1, 1);
+        sink.finish(id);
+        assert!(sink.drain().is_empty());
+    }
+
+    #[test]
+    fn merge_reassembles_fragments_by_time() {
+        let client = PacketTrace {
+            id: 9,
+            hops: vec![
+                HopStamp {
+                    hop_ip: 1,
+                    at_ns: 0,
+                },
+                HopStamp {
+                    hop_ip: 1,
+                    at_ns: 400,
+                },
+            ],
+        };
+        let switch = PacketTrace {
+            id: 9,
+            hops: vec![
+                HopStamp {
+                    hop_ip: 2,
+                    at_ns: 100,
+                },
+                HopStamp {
+                    hop_ip: 3,
+                    at_ns: 200,
+                },
+            ],
+        };
+        let merged = merge_traces(vec![switch, client]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].path(), vec![1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn summary_counts_paths_and_transitions() {
+        let mk = |id: u64, ips: &[u32]| PacketTrace {
+            id,
+            hops: ips
+                .iter()
+                .enumerate()
+                .map(|(i, &ip)| HopStamp {
+                    hop_ip: ip,
+                    at_ns: (id * 1000) + i as u64 * 100,
+                })
+                .collect(),
+        };
+        let traces = vec![mk(1, &[10, 20, 30]), mk(2, &[10, 20, 30]), mk(3, &[10, 30])];
+        let s = TraceSummary::from_traces(&traces);
+        assert_eq!(s.traces, 3);
+        assert_eq!(s.dominant_path(), Some(&[10, 20, 30][..]));
+        assert_eq!(s.paths[0].1, 2);
+        // Transitions: 10->20 (x2), 20->30 (x2), 10->30 (x1).
+        assert_eq!(s.transitions.len(), 3);
+        let t = s
+            .transitions
+            .iter()
+            .find(|t| t.from_ip == 10 && t.to_ip == 20)
+            .unwrap();
+        assert_eq!(t.latency.count(), 2);
+        assert_eq!(t.latency.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn sink_respects_max_traces() {
+        let mut sink = TraceSink::new(TraceConfig::sampled(0, 2));
+        for id in 0..5u64 {
+            sink.stamp(id, 1, id);
+            sink.finish(id);
+        }
+        assert_eq!(sink.finished(), 2);
+        assert_eq!(sink.drain().len(), 2);
+    }
+
+    #[test]
+    fn ip_rendering() {
+        assert_eq!(ip_to_string(0x0a000102), "10.0.1.2");
+        assert_eq!(
+            path_to_string(&[0x0a000101, 0x0a000102]),
+            "10.0.1.1 -> 10.0.1.2"
+        );
+    }
+}

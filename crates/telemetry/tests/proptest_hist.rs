@@ -1,0 +1,106 @@
+//! Property tests for histogram snapshot merging: merge must be
+//! associative, commutative, and order-independent, and a merged snapshot
+//! must be indistinguishable from recording every sample into one
+//! histogram.
+
+use netchain_telemetry::{HistSnapshot, LatencyHistogram};
+use proptest::prelude::*;
+
+fn snapshot_of(samples: &[u64]) -> HistSnapshot {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..u64::MAX, 0..64),
+        b in proptest::collection::vec(0u64..u64::MAX, 0..64),
+        c in proptest::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // (a + b) + c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        // a + (b + c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..u64::MAX, 0..64),
+        b in proptest::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_order_independent_and_equals_union(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000_000u64, 0..32),
+            1..6,
+        ),
+        seed in 0u64..1000,
+    ) {
+        // Merge the parts in a permuted order.
+        let mut order: Vec<usize> = (0..parts.len()).collect();
+        // Cheap deterministic shuffle from the seed.
+        let mut s = seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+
+        let in_order = HistSnapshot::merged(parts.iter().map(|p| snapshot_of(p)).collect::<Vec<_>>().iter());
+        let permuted = HistSnapshot::merged(order.iter().map(|&i| snapshot_of(&parts[i])).collect::<Vec<_>>().iter());
+        prop_assert_eq!(&in_order, &permuted);
+
+        // And both equal one histogram over the concatenation.
+        let all: Vec<u64> = parts.iter().flatten().copied().collect();
+        prop_assert_eq!(&in_order, &snapshot_of(&all));
+    }
+
+    #[test]
+    fn empty_is_identity(a in proptest::collection::vec(0u64..u64::MAX, 0..64)) {
+        let sa = snapshot_of(&a);
+        let mut merged = sa.clone();
+        merged.merge(&HistSnapshot::empty());
+        prop_assert_eq!(&merged, &sa);
+        let mut other = HistSnapshot::empty();
+        other.merge(&sa);
+        prop_assert_eq!(&other, &sa);
+    }
+
+    #[test]
+    fn quantile_bounded_by_oracle(
+        samples in proptest::collection::vec(0u64..10_000_000_000u64, 1..200),
+        q in 0.001f64..1.0,
+    ) {
+        let snap = snapshot_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let approx = snap.quantile(q).unwrap();
+        prop_assert!(approx >= exact);
+        let err = (approx - exact) as f64 / (exact.max(1)) as f64;
+        // 2^-5 bucket resolution plus f64 slack.
+        prop_assert!(err <= 1.0 / 32.0 + 1e-9, "err {} at q {}", err, q);
+    }
+}

@@ -1,0 +1,8 @@
+//! Workspace-root alias for the telemetry overhead guard, so
+//! `cargo run --release --bin telemetry_overhead` works without `-p`.
+//! See `crates/experiments/src/telemetry_overhead.rs`.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    netchain_experiments::telemetry_overhead::run_cli(smoke);
+}

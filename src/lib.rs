@@ -16,6 +16,10 @@
 //! * [`net`] — the real-socket (UDP loopback) deployment mode.
 //! * [`fabric`] — the in-process multi-core switch fabric (real throughput:
 //!   lock-free SPSC rings, batched zero-copy processing).
+//! * [`livectl`] — the live control plane for the fabric (fault injection,
+//!   fast failover, measured chain repair).
+//! * [`telemetry`] — the observability layer: metrics, latency histograms,
+//!   in-band per-hop tracing, event journal, JSON-lines export.
 //! * [`experiments`] — the per-figure reproduction harness.
 //!
 //! See `examples/` for runnable walkthroughs and `DESIGN.md` /
@@ -28,8 +32,10 @@ pub use netchain_baseline as baseline;
 pub use netchain_core as core;
 pub use netchain_experiments as experiments;
 pub use netchain_fabric as fabric;
+pub use netchain_livectl as livectl;
 pub use netchain_model as model;
 pub use netchain_net as net;
 pub use netchain_sim as sim;
 pub use netchain_switch as switch;
+pub use netchain_telemetry as telemetry;
 pub use netchain_wire as wire;
