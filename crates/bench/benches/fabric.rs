@@ -13,10 +13,12 @@
 //!   workload.
 
 use criterion::{black_box, criterion_group, Criterion};
-use netchain_fabric::{build_shards, run_capacity, FabricConfig, WorkloadSpec};
+use netchain_fabric::{build_shards, run_capacity, FabricConfig, Shard, WorkloadSpec};
+use netchain_switch::{stable_hash_batch, PipelineConfig, SwitchKvStore};
 use netchain_telemetry::TraceConfig;
 use netchain_wire::{
-    BatchEncoder, ChainList, Ipv4Addr, Key, NetChainPacket, OpCode, PacketView, Value,
+    BatchEncoder, BatchView, ChainList, Ipv4Addr, Key, NetChainPacket, OpCode, PacketView, Value,
+    BATCH_WIDTH,
 };
 
 fn read_query_bytes(key: u64) -> Vec<u8> {
@@ -79,12 +81,14 @@ fn bench_parse(c: &mut Criterion) {
     });
 }
 
-fn bench_burst(c: &mut Criterion) {
+/// One single-shard fabric plus a 32-read burst addressed to each key's
+/// chain tail, like the loadgen produces — the shared fixture for the burst
+/// and staged-vs-scalar benches.
+fn burst_fixture() -> (Vec<Shard>, Vec<Vec<u8>>) {
     let config = FabricConfig::new(1);
     let workload = WorkloadSpec::uniform_read(1024, 0);
-    let mut shards = build_shards(&config, &workload);
+    let shards = build_shards(&config, &workload);
     let ring = config.build_ring();
-    // A burst of reads addressed to each key's chain tail, like the loadgen.
     let frames: Vec<Vec<u8>> = (0..config.burst as u64)
         .map(|i| {
             let key = Key::from_u64(i % workload.num_keys);
@@ -101,6 +105,14 @@ fn bench_burst(c: &mut Criterion) {
             .to_bytes()
         })
         .collect();
+    (shards, frames)
+}
+
+fn bench_burst(c: &mut Criterion) {
+    let config = FabricConfig::new(1);
+    let workload = WorkloadSpec::uniform_read(1024, 0);
+    let ring = config.build_ring();
+    let (mut shards, frames) = burst_fixture();
     let mut replies = BatchEncoder::with_capacity(config.burst, 128);
     c.bench_function("fabric/shard_burst_32_reads", |b| {
         b.iter(|| {
@@ -169,7 +181,96 @@ fn bench_burst_tracing(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_parse, bench_burst, bench_burst_tracing);
+/// Per-stage micro-benchmarks of the staged hot path, each against its
+/// scalar counterpart: batch validate+parse versus per-frame [`PacketView`],
+/// lane-major batch key hashing versus the scalar FNV loop, and the hashed
+/// open-addressed index probe.
+fn bench_staged_stages(c: &mut Criterion) {
+    let frames: Vec<Vec<u8>> = (0..BATCH_WIDTH as u64).map(read_query_bytes).collect();
+    let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+
+    c.bench_function("fabric/parse_batch_32", |b| {
+        b.iter(|| {
+            let bv = BatchView::parse(black_box(&refs));
+            black_box(bv.batch().invalid_count())
+        })
+    });
+    c.bench_function("fabric/parse_scalar_32", |b| {
+        b.iter(|| {
+            let mut bad = 0usize;
+            for f in black_box(&refs) {
+                if PacketView::parse(f).is_err() {
+                    bad += 1;
+                }
+            }
+            black_box(bad)
+        })
+    });
+
+    let batch = BatchView::parse(&refs);
+    let keys: Vec<Key> = (0..BATCH_WIDTH).map(|i| batch.batch().key(i)).collect();
+    let mut hashes = [0u64; BATCH_WIDTH];
+    c.bench_function("fabric/hash_batch_32", |b| {
+        b.iter(|| {
+            stable_hash_batch(black_box(batch.batch().keys()), &mut hashes);
+            black_box(hashes[0])
+        })
+    });
+    c.bench_function("fabric/hash_scalar_32", |b| {
+        b.iter(|| {
+            for (i, k) in black_box(&keys).iter().enumerate() {
+                hashes[i] = k.stable_hash();
+            }
+            black_box(hashes[0])
+        })
+    });
+
+    // The hashed probe prepass over a store holding every benched key.
+    let mut kv = SwitchKvStore::new(PipelineConfig::default());
+    for k in &keys {
+        kv.insert(*k, &Value::from_u64(7)).unwrap();
+    }
+    stable_hash_batch(batch.batch().keys(), &mut hashes);
+    let mut slots = Vec::with_capacity(BATCH_WIDTH);
+    c.bench_function("fabric/probe_batch_32", |b| {
+        b.iter(|| {
+            slots.clear();
+            kv.probe_slots(black_box(&keys), &hashes, &mut slots);
+            black_box(slots.len())
+        })
+    });
+}
+
+/// The headline comparison the staged refactor is accepted on: the same
+/// 32-read burst through the staged `process_burst` and through the retained
+/// scalar reference path.
+fn bench_staged_vs_scalar(c: &mut Criterion) {
+    let (mut shards, frames) = burst_fixture();
+    let mut replies = BatchEncoder::with_capacity(frames.len(), 128);
+    c.bench_function("fabric/staged_vs_scalar_burst/staged_32_reads", |b| {
+        b.iter(|| {
+            replies.clear();
+            shards[0].process_burst(frames.iter().map(|f| f.as_slice()), &mut replies);
+            black_box(replies.len())
+        })
+    });
+    c.bench_function("fabric/staged_vs_scalar_burst/scalar_32_reads", |b| {
+        b.iter(|| {
+            replies.clear();
+            shards[0].process_burst_scalar(frames.iter().map(|f| f.as_slice()), &mut replies);
+            black_box(replies.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_burst,
+    bench_burst_tracing,
+    bench_staged_stages,
+    bench_staged_vs_scalar
+);
 
 /// The acceptance measurement: aggregate ops/sec vs worker shard count on the
 /// uniform-read workload, and vs chain length at 4 shards.
@@ -222,7 +323,72 @@ fn scaling_report() {
     println!();
 }
 
+/// Measured staged-vs-scalar acceptance: times the same 32-read burst
+/// through both paths with a plain monotonic clock (minimum over several
+/// repeats, so scheduler noise only ever slows a sample down, never speeds
+/// it up) and asserts the staged pipeline's speedup floor — ≥1.3x in the
+/// full run, ≥1.0x in CI smoke mode (`NETCHAIN_BENCH_SMOKE=1`).
+fn staged_report(smoke: bool) {
+    let (mut shards, frames) = burst_fixture();
+    let mut replies = BatchEncoder::with_capacity(frames.len(), 128);
+    let iters: u32 = if smoke { 3_000 } else { 20_000 };
+    let repeats = if smoke { 3 } else { 5 };
+
+    // Warm both paths untimed (fills the packet pool and faults the code in).
+    for _ in 0..200 {
+        replies.clear();
+        shards[0].process_burst(frames.iter().map(|f| f.as_slice()), &mut replies);
+        replies.clear();
+        shards[0].process_burst_scalar(frames.iter().map(|f| f.as_slice()), &mut replies);
+    }
+
+    let mut staged_ns = f64::INFINITY;
+    let mut scalar_ns = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            replies.clear();
+            shards[0].process_burst(frames.iter().map(|f| f.as_slice()), &mut replies);
+            black_box(replies.len());
+        }
+        staged_ns = staged_ns.min(t0.elapsed().as_nanos() as f64 / f64::from(iters));
+
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            replies.clear();
+            shards[0].process_burst_scalar(frames.iter().map(|f| f.as_slice()), &mut replies);
+            black_box(replies.len());
+        }
+        scalar_ns = scalar_ns.min(t0.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+
+    let speedup = scalar_ns / staged_ns;
+    let per_op = frames.len() as f64;
+    println!("\nstaged vs scalar, 32-read burst (min over {repeats}x{iters} iters)");
+    println!(
+        "  scalar: {scalar_ns:>8.0} ns/burst  ({:.1} ns/op)",
+        scalar_ns / per_op
+    );
+    println!(
+        "  staged: {staged_ns:>8.0} ns/burst  ({:.1} ns/op)",
+        staged_ns / per_op
+    );
+    println!("  speedup: {speedup:.2}x");
+    let floor = if smoke { 1.0 } else { 1.3 };
+    assert!(
+        speedup >= floor,
+        "staged burst path regressed: {speedup:.2}x (floor {floor}x)"
+    );
+}
+
 fn main() {
+    if std::env::var("NETCHAIN_BENCH_SMOKE").as_deref() == Ok("1") {
+        // CI smoke: skip criterion and the scaling sweep, just guard the
+        // staged hot path against regressing below the scalar reference.
+        staged_report(true);
+        return;
+    }
     benches();
     scaling_report();
+    staged_report(false);
 }

@@ -15,9 +15,10 @@ use crate::series::Series;
 use netchain_baseline::message::{ZkOp, ZkStore};
 use netchain_core::KvOp;
 use netchain_fabric::{
-    run_capacity, run_live, ClientState, FabricConfig, FabricReport, WorkloadSpec,
+    build_shards, run_capacity, run_live, ClientState, FabricConfig, FabricReport, WorkloadSpec,
 };
 use netchain_telemetry::TraceConfig;
+use netchain_wire::{BatchEncoder, ChainList, Ipv4Addr, Key, NetChainPacket, OpCode, Value};
 use std::time::{Duration, Instant};
 
 /// Workload shape shared by both scale sweeps.
@@ -99,11 +100,73 @@ pub fn throughput_vs_chain_length(
 /// the full report; callers export `report.latency.quantiles()` and
 /// `report.trace_summary()`.
 pub fn live_profile(params: FabricScaleParams, shards: usize) -> FabricReport {
-    let config = FabricConfig::new(shards).with_trace(TraceConfig::sampled(6, 4096));
+    // Pin each shard thread to its own core (vendored affinity shim; a
+    // graceful no-op on unsupported platforms) so the live numbers measure
+    // placement rather than scheduler luck; the report's `pinned_shards`
+    // says how many pins actually took.
+    let config = FabricConfig::new(shards)
+        .with_trace(TraceConfig::sampled(6, 4096))
+        .with_pinning(true);
     run_live(
         config,
         WorkloadSpec::mixed(params.num_keys, params.ops, 50, 40),
     )
+}
+
+/// The staged-vs-scalar burst comparison at experiment granularity: the same
+/// 32-read burst (each read addressed to its key's chain tail, like the load
+/// generator produces) through the staged [`netchain_fabric::Shard::process_burst`]
+/// and the retained scalar reference path. Returns
+/// `(scalar_ns_per_burst, staged_ns_per_burst)`, each the minimum over
+/// `repeats` timed runs of `iters` bursts — the numbers `BENCH_fabric.json`
+/// records so the perf trajectory is machine-diffable across PRs.
+pub fn staged_vs_scalar_burst(iters: u32, repeats: u32) -> (f64, f64) {
+    let config = FabricConfig::new(1);
+    let workload = WorkloadSpec::uniform_read(1024, 0);
+    let mut shards = build_shards(&config, &workload);
+    let ring = config.build_ring();
+    let frames: Vec<Vec<u8>> = (0..config.burst as u64)
+        .map(|i| {
+            let key = Key::from_u64(i % workload.num_keys);
+            NetChainPacket::query(
+                Ipv4Addr::for_host(0),
+                40_000,
+                ring.chain_for_key(&key).tail(),
+                OpCode::Read,
+                key,
+                Value::empty(),
+                ChainList::empty(),
+                i,
+            )
+            .to_bytes()
+        })
+        .collect();
+    let mut replies = BatchEncoder::with_capacity(frames.len(), 128);
+    for _ in 0..100 {
+        replies.clear();
+        shards[0].process_burst(frames.iter().map(|f| f.as_slice()), &mut replies);
+        replies.clear();
+        shards[0].process_burst_scalar(frames.iter().map(|f| f.as_slice()), &mut replies);
+    }
+    let mut staged_ns = f64::INFINITY;
+    let mut scalar_ns = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            replies.clear();
+            shards[0].process_burst(frames.iter().map(|f| f.as_slice()), &mut replies);
+            std::hint::black_box(replies.len());
+        }
+        staged_ns = staged_ns.min(t0.elapsed().as_nanos() as f64 / f64::from(iters));
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            replies.clear();
+            shards[0].process_burst_scalar(frames.iter().map(|f| f.as_slice()), &mut replies);
+            std::hint::black_box(replies.len());
+        }
+        scalar_ns = scalar_ns.min(t0.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+    (scalar_ns, staged_ns)
 }
 
 /// Measured capacity of a ZooKeeper-style server ensemble (the
@@ -263,6 +326,13 @@ mod tests {
         assert!(!report.traces.is_empty());
         let quantiles = report.latency.quantiles();
         assert!(quantiles.p999_ns >= quantiles.p50_ns);
+    }
+
+    #[test]
+    fn staged_vs_scalar_comparison_times_both_paths() {
+        let (scalar_ns, staged_ns) = staged_vs_scalar_burst(50, 2);
+        assert!(scalar_ns > 0.0);
+        assert!(staged_ns > 0.0);
     }
 
     #[test]

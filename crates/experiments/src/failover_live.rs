@@ -168,7 +168,10 @@ pub fn failover_live(
         ..FabricConfig::new(params.shards)
     }
     .with_spares(1)
-    .with_trace(TRACE_SAMPLING);
+    .with_trace(TRACE_SAMPLING)
+    // Pin shard threads to distinct cores (no-op on unsupported platforms)
+    // so failover timings measure the protocol, not scheduler placement.
+    .with_pinning(true);
     let workload = WorkloadSpec::mixed(params.num_keys, 0, params.read_pct, 100 - params.read_pct);
     let script = FaultScript {
         victim: Ipv4Addr::for_switch(1),

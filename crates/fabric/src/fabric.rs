@@ -4,10 +4,11 @@
 //! Two ways to run the same dataplane:
 //!
 //! * [`run_live`] — spawns one OS thread per shard and per client, connected
-//!   by the lock-free SPSC rings. This is the deployment shape: on a machine
-//!   with one core per thread (pin with `taskset`/cgroups; `std` exposes no
-//!   affinity API), aggregate throughput scales with shards because shards
-//!   share nothing.
+//!   by the lock-free SPSC rings. This is the deployment shape: with
+//!   [`FabricConfig::pin_shards`] each shard thread pins itself to a core
+//!   (`sched_setaffinity` via the vendored `affinity` shim; no-op off Linux
+//!   or without the `pinning` feature), and aggregate throughput scales with
+//!   shards because shards share nothing.
 //! * [`run_capacity`] — processes each shard's partition sequentially on the
 //!   measuring core, timing only dataplane work, and reports the aggregate
 //!   for the one-core-per-shard deployment model (`total ops / slowest
@@ -59,6 +60,11 @@ pub struct FabricConfig {
     /// In-band trace sampling. [`TraceConfig::OFF`] (the default) keeps the
     /// data plane byte-for-byte on its old path.
     pub trace: TraceConfig,
+    /// Pin shard thread `s` to CPU `s % available_cpus` in [`run_live`]
+    /// (measured core pinning; needs the `pinning` feature, a no-op
+    /// elsewhere). Off by default: unit tests and oversubscribed runs are
+    /// better served by the scheduler.
+    pub pin_shards: bool,
 }
 
 impl FabricConfig {
@@ -76,12 +82,19 @@ impl FabricConfig {
             ring_capacity: 256,
             burst: 32,
             trace: TraceConfig::OFF,
+            pin_shards: false,
         }
     }
 
     /// Returns a copy with the given trace sampling config.
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Returns a copy with shard-thread core pinning switched on or off.
+    pub fn with_pinning(mut self, pin_shards: bool) -> Self {
+        self.pin_shards = pin_shards;
         self
     }
 
@@ -140,6 +153,22 @@ impl FabricConfig {
     }
 }
 
+/// Pins the calling thread to `cpu` when the `pinning` feature is compiled
+/// in and the platform supports it. Returns whether the pin took effect —
+/// callers treat a failed pin as advisory (the thread still runs, merely
+/// unpinned), so a restricted cpuset or a non-Linux host degrades gracefully.
+pub fn pin_thread(cpu: usize) -> bool {
+    #[cfg(feature = "pinning")]
+    {
+        affinity::pin_current_thread(cpu % affinity::available_cpus()).is_ok()
+    }
+    #[cfg(not(feature = "pinning"))]
+    {
+        let _ = cpu;
+        false
+    }
+}
+
 /// Builds the shards and pre-populates every workload key on its owner.
 pub fn build_shards(config: &FabricConfig, workload: &WorkloadSpec) -> Vec<Shard> {
     let ring = config.build_ring();
@@ -192,6 +221,7 @@ pub fn run_live(config: FabricConfig, workload: WorkloadSpec) -> FabricReport {
     }
 
     let done_clients = Arc::new(AtomicUsize::new(0));
+    let pinned = Arc::new(AtomicUsize::new(0));
     let start = Instant::now();
 
     // Shard workers.
@@ -200,14 +230,19 @@ pub fn run_live(config: FabricConfig, workload: WorkloadSpec) -> FabricReport {
         let mut ingress = std::mem::take(&mut query_rx[s]);
         let mut egress = std::mem::take(&mut reply_tx[s]);
         let done = Arc::clone(&done_clients);
+        let pinned = Arc::clone(&pinned);
         let burst = config.burst;
         let num_clients = config.num_clients;
+        let pin = config.pin_shards;
         if config.trace.enabled {
             shard.enable_tracing(config.trace, start);
         }
         let handle = std::thread::Builder::new()
             .name(format!("fabric-shard-{s}"))
             .spawn(move || {
+                if pin && pin_thread(s) {
+                    pinned.fetch_add(1, Ordering::Relaxed);
+                }
                 let mut frames: Vec<Frame> = Vec::with_capacity(burst);
                 let mut replies = BatchEncoder::with_capacity(burst, 128);
                 loop {
@@ -360,6 +395,7 @@ pub fn run_live(config: FabricConfig, workload: WorkloadSpec) -> FabricReport {
         clients,
         latency,
         traces: merge_traces(trace_fragments),
+        pinned_shards: pinned.load(Ordering::Relaxed),
     }
 }
 

@@ -42,9 +42,11 @@
 //!
 //! ## Measuring
 //!
-//! [`run_live`] spawns real threads (deployment shape; pin one shard per
-//! core for scaling — `std` exposes no affinity API, so pinning is left to
-//! `taskset`/cgroups). [`run_capacity`] measures each shard's
+//! [`run_live`] spawns real threads (deployment shape; with
+//! [`FabricConfig::pin_shards`](fabric::FabricConfig::pin_shards) each shard
+//! thread is pinned to its own core through the vendored `affinity` shim —
+//! `sched_setaffinity` on Linux, a graceful no-op elsewhere or with the
+//! `pinning` feature disabled). [`run_capacity`] measures each shard's
 //! run-to-completion rate sequentially and reports the aggregate for the
 //! one-core-per-shard model, the same methodology the paper uses for its
 //! scalability projections (§8.3) — and the only honest way to produce a
@@ -65,7 +67,7 @@ pub mod ring;
 pub mod shard;
 pub mod stats;
 
-pub use fabric::{build_shards, run_capacity, run_live, FabricConfig};
+pub use fabric::{build_shards, pin_thread, run_capacity, run_live, FabricConfig};
 pub use frame::{Frame, MAX_FRAME_LEN};
 pub use loadgen::{ClientState, WorkloadSpec};
 pub use ring::{ring as spsc_ring, Consumer, Producer};

@@ -13,9 +13,18 @@
 //! Processing is batched in two layers: the shard pulls bursts of frames
 //! from its ingress rings, and inside a burst the chain traversal runs in
 //! *waves* — all packets currently addressed to the same switch are handed
-//! to [`NetChainSwitch::step_batch`] together, keeping that switch's tables
-//! hot while the burst flows through the chain stage by stage, like a
-//! hardware pipeline.
+//! to the switch together, keeping that switch's tables hot while the burst
+//! flows through the chain stage by stage, like a hardware pipeline.
+//!
+//! The first wave runs as an explicit **staged pipeline**
+//! ([`Shard::process_burst`]): validate+parse a chunk of up to
+//! [`BATCH_WIDTH`] frames branch-free into a structure-of-arrays scratch,
+//! batch-hash all keys, probe the destination switches' indexes with the
+//! precomputed hashes, then execute — read queries whose probe succeeded
+//! answer straight from the register arrays without ever materialising an
+//! owned packet. The pre-staging scalar path is kept as
+//! [`Shard::process_burst_scalar`], the semantic baseline the staged path is
+//! differentially tested against.
 //!
 //! ## Control plane hooks
 //!
@@ -50,10 +59,13 @@ use crate::stats::ShardStats;
 use netchain_core::HashRing;
 use netchain_switch::kv::ExportedEntry;
 use netchain_switch::{
-    DropReason, FailoverRule, NetChainSwitch, PipelineConfig, RuleScope, SwitchAction,
+    stable_hash_batch, DropReason, FailoverRule, NetChainSwitch, PipelineConfig, RuleScope,
+    StagedOutcome, StagedPacket, SwitchAction,
 };
 use netchain_telemetry::{trace_id, PacketTrace, TraceConfig, TraceSink};
-use netchain_wire::{BatchEncoder, Ipv4Addr, Key, NetChainPacket, PacketView, Value};
+use netchain_wire::{
+    BatchEncoder, BatchView, Ipv4Addr, Key, NetChainPacket, OpCode, PacketView, Value, BATCH_WIDTH,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Retired packets kept for reuse. A burst in flight needs at most `burst`
@@ -96,6 +108,14 @@ pub struct Shard {
     actions: Vec<SwitchAction>,
     /// Retired packets whose allocations the parse path reuses.
     pool: Vec<NetChainPacket>,
+    /// Staged-pipeline scratch: the stage-3 probe inputs gathered per
+    /// destination switch, and the per-lane probe results scattered back.
+    probe_keys: Vec<Key>,
+    probe_hashes: Vec<u64>,
+    probe_lanes: Vec<usize>,
+    probe_out: Vec<Option<usize>>,
+    /// Stage-4 per-item outcomes (reused across wave groups).
+    outcomes: Vec<StagedOutcome>,
     /// In-band per-hop trace stamping, when enabled. `None` keeps the data
     /// plane exactly as before: one branch per wave group and nothing else.
     tracer: Option<ShardTracer>,
@@ -144,6 +164,11 @@ impl Shard {
             group: Vec::new(),
             actions: Vec::new(),
             pool: Vec::new(),
+            probe_keys: Vec::new(),
+            probe_hashes: Vec::new(),
+            probe_lanes: Vec::new(),
+            probe_out: Vec::new(),
+            outcomes: Vec::new(),
             tracer: None,
         }
     }
@@ -297,11 +322,272 @@ impl Shard {
     /// Processes one burst of ingress frames to completion, encoding every
     /// generated reply into `replies` (in completion order).
     ///
-    /// Each frame is parsed with the zero-copy [`PacketView`]; malformed
-    /// frames are counted and skipped. The owned conversion reuses pooled
-    /// packet buffers ([`PacketView::to_owned_into`]), so in steady state
-    /// this path does not allocate at all — not even for writes.
+    /// This is the **staged** hot path, run in four explicit stages over
+    /// chunks of up to [`BATCH_WIDTH`] frames:
+    ///
+    /// 1. **Validate + parse** — [`BatchView::parse`] runs the branch-free
+    ///    [`netchain_wire::validate_frame`] over the chunk and fills a
+    ///    structure-of-arrays scratch with the fields the later stages need.
+    /// 2. **Hash** — [`stable_hash_batch`] hashes every key of the chunk in
+    ///    one lane-major pass.
+    /// 3. **Probe** — eligible read lanes are probed against their
+    ///    destination switch's index with the precomputed hashes
+    ///    (`SwitchKvStore::probe_slots`), touching the register slots so they
+    ///    are warm when stage 4 reads them. Mutations never touch the index
+    ///    (inserts/removes are control-plane only), so slots probed here stay
+    ///    correct for the whole burst.
+    /// 4. **Execute** — [`NetChainSwitch::step_batch_staged`] runs the wave
+    ///    groups in frame order: probed reads ride the fast lane (the reply
+    ///    is emitted straight from the query frame and the register arrays,
+    ///    no owned packet), everything else takes the scalar path unchanged.
+    ///
+    /// Chain hops past the first wave continue through the same wave loop as
+    /// [`Shard::process_burst_scalar`]; semantics — per-key ordering within a
+    /// burst, reply order, stats, trace stamps — are identical to the scalar
+    /// path (pinned by tests).
     pub fn process_burst<'a>(
+        &mut self,
+        frames: impl Iterator<Item = &'a [u8]>,
+        replies: &mut BatchEncoder,
+    ) {
+        debug_assert!(self.wave.is_empty());
+        let mut frames = frames.fuse();
+        let mut chunk: [&'a [u8]; BATCH_WIDTH] = [&[]; BATCH_WIDTH];
+        let mut items: Vec<(Ipv4Addr, StagedPacket<'a>)> = Vec::with_capacity(BATCH_WIDTH);
+        let mut group: Vec<StagedPacket<'a>> = Vec::with_capacity(BATCH_WIDTH);
+        let mut started = false;
+        loop {
+            let mut n = 0;
+            while n < BATCH_WIDTH {
+                match frames.next() {
+                    Some(f) => {
+                        chunk[n] = f;
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+            if n == 0 {
+                break;
+            }
+            self.stats.frames_in += n as u64;
+
+            // Stage 1: validate + parse the chunk into SoA lanes.
+            let bv = BatchView::parse(&chunk[..n]);
+            let batch = bv.batch();
+            self.stats.parse_errors += batch.invalid_count() as u64;
+            if batch.invalid_count() == n {
+                continue;
+            }
+            if !started {
+                started = true;
+                self.stats.bursts += 1;
+                // The chunks of a burst are all part of wave 1.
+                self.stats.waves += 1;
+            }
+
+            // Stage 2: hash every key lane in one pass.
+            let mut hashes = [0u64; BATCH_WIDTH];
+            stable_hash_batch(batch.keys(), &mut hashes);
+
+            // Stage 3: pick the fast-lane reads and probe their slots. A lane
+            // is eligible iff the switch would run exactly `process_read`
+            // followed by an unobstructed reply bounce: a pure read query
+            // (no carried value, so no recirculation accounting) addressed
+            // to a live, active switch with no failover rules installed.
+            let mut slots: [Option<usize>; BATCH_WIDTH] = [None; BATCH_WIDTH];
+            let mut fast: u32 = 0;
+            let any_failed = !self.failed.is_empty();
+            let mut last_dst = 0u32;
+            let mut last_ok = false;
+            for i in 0..n {
+                if !batch.is_netchain(i)
+                    || batch.op(i) != OpCode::Read.to_u8()
+                    || batch.value_len(i) != 0
+                {
+                    continue;
+                }
+                // Lanes repeating the previous destination reuse its verdict
+                // (bursts cluster by chain, so this collapses most lookups).
+                let dst_u32 = batch.dst(i);
+                if dst_u32 != last_dst || i == 0 {
+                    last_dst = dst_u32;
+                    let dst = Ipv4Addr(dst_u32.to_be_bytes());
+                    last_ok = (!any_failed || !self.failed.contains(&dst))
+                        && self
+                            .switches
+                            .get(&dst)
+                            .is_some_and(|sw| sw.is_active() && sw.forwarding().is_empty());
+                }
+                if last_ok {
+                    fast |= 1 << i;
+                }
+            }
+            let mut pending = fast;
+            while pending != 0 {
+                let first = pending.trailing_zeros() as usize;
+                let dst_u32 = batch.dst(first);
+                self.probe_keys.clear();
+                self.probe_hashes.clear();
+                self.probe_lanes.clear();
+                self.probe_out.clear();
+                let mut rest = pending;
+                while rest != 0 {
+                    let i = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    if batch.dst(i) == dst_u32 {
+                        self.probe_keys.push(batch.key(i));
+                        self.probe_hashes.push(hashes[i]);
+                        self.probe_lanes.push(i);
+                        pending &= !(1 << i);
+                    }
+                }
+                let dst = Ipv4Addr(dst_u32.to_be_bytes());
+                let sw = self.switches.get(&dst).expect("eligibility checked above");
+                sw.kv()
+                    .probe_slots(&self.probe_keys, &self.probe_hashes, &mut self.probe_out);
+                for (slot, &lane) in self.probe_out.iter().zip(&self.probe_lanes) {
+                    slots[lane] = *slot;
+                }
+            }
+
+            // Build the chunk's wave-1 items in frame order: fast-lane reads
+            // borrow their frame, everything else is materialised through the
+            // packet pool exactly like the scalar parse.
+            items.clear();
+            for (i, &slot) in slots.iter().enumerate().take(n) {
+                if !batch.is_valid(i) {
+                    continue;
+                }
+                if fast & (1 << i) != 0 {
+                    items.push((
+                        Ipv4Addr(batch.dst(i).to_be_bytes()),
+                        StagedPacket::FastRead {
+                            frame: bv.frame(i),
+                            slot,
+                            client: Ipv4Addr(batch.src(i).to_be_bytes()),
+                            request_id: batch.request_id(i),
+                        },
+                    ));
+                } else {
+                    let view = bv.view(i);
+                    let pkt = match self.pool.pop() {
+                        Some(mut recycled) => {
+                            view.to_owned_into(&mut recycled);
+                            recycled
+                        }
+                        None => view.to_owned(),
+                    };
+                    items.push((pkt.ip.dst, StagedPacket::Owned(pkt)));
+                }
+            }
+
+            // Stage 4: execute the chunk's wave-1 groups (consecutive items
+            // with the same destination, as in the scalar wave loop).
+            let mut iter = items.drain(..).peekable();
+            while let Some((dst, item)) = iter.next() {
+                group.push(item);
+                while iter.peek().is_some_and(|(d, _)| *d == dst) {
+                    group.push(iter.next().expect("peek said there is one").1);
+                }
+                let target = if self.failed.contains(&dst) || !self.switches.contains_key(&dst) {
+                    self.gateway_ip()
+                } else {
+                    Some(dst)
+                };
+                if let (Some(tracer), Some(hop)) = (&mut self.tracer, target) {
+                    // One clock read per wave group, as on the scalar path.
+                    let hop_ip = u32::from_be_bytes(hop.0);
+                    let at_ns = tracer.t0.elapsed().as_nanos() as u64;
+                    for item in &group {
+                        let (src, rid) = match item {
+                            StagedPacket::FastRead {
+                                client, request_id, ..
+                            } => (u32::from_be_bytes(client.0), *request_id),
+                            StagedPacket::Owned(p) => {
+                                (u32::from_be_bytes(p.ip.src.0), p.netchain.request_id)
+                            }
+                        };
+                        tracer.sink.stamp(trace_id(src, rid), hop_ip, at_ns);
+                    }
+                }
+                match target.and_then(|ip| self.switches.get_mut(&ip)) {
+                    Some(sw) => {
+                        self.outcomes.clear();
+                        sw.step_batch_staged(group.drain(..), replies, &mut self.outcomes);
+                        for outcome in self.outcomes.drain(..) {
+                            match outcome {
+                                StagedOutcome::FastReply { client, request_id } => {
+                                    self.stats.replies += 1;
+                                    if let Some(tracer) = &mut self.tracer {
+                                        tracer.sink.finish(trace_id(
+                                            u32::from_be_bytes(client.0),
+                                            request_id,
+                                        ));
+                                    }
+                                }
+                                StagedOutcome::Reply(p) => {
+                                    self.stats.replies += 1;
+                                    if let Some(tracer) = &mut self.tracer {
+                                        tracer.sink.finish(trace_id(
+                                            u32::from_be_bytes(p.ip.dst.0),
+                                            p.netchain.request_id,
+                                        ));
+                                    }
+                                    if self.pool.len() < POOL_MAX {
+                                        self.pool.push(p);
+                                    }
+                                }
+                                StagedOutcome::Action(SwitchAction::Forward(p)) => {
+                                    if p.ip.dst == dst && target != Some(dst) {
+                                        self.stats.unroutable += 1;
+                                        if self.pool.len() < POOL_MAX {
+                                            self.pool.push(p);
+                                        }
+                                    } else {
+                                        self.next_wave.push(p);
+                                    }
+                                }
+                                StagedOutcome::Action(SwitchAction::Drop(DropReason::Blocked)) => {
+                                    self.stats.drops += 1;
+                                    self.stats.blocked += 1;
+                                }
+                                StagedOutcome::Action(SwitchAction::Drop(_)) => {
+                                    self.stats.drops += 1
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        self.stats.unroutable += group.len() as u64;
+                        for item in group.drain(..) {
+                            if let StagedPacket::Owned(p) = item {
+                                if self.pool.len() < POOL_MAX {
+                                    self.pool.push(p);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Chain hops past the first wave continue through the shared wave
+        // loop (writes traversing their chains, failover re-routes, …).
+        std::mem::swap(&mut self.wave, &mut self.next_wave);
+        self.run_waves(replies);
+    }
+
+    /// The pre-staging scalar reference path: parses every frame into an
+    /// owned packet with the zero-copy [`PacketView`] and runs the wave loop
+    /// from the first hop. Kept as the semantic baseline the staged
+    /// [`Shard::process_burst`] is differentially tested (and benchmarked)
+    /// against.
+    ///
+    /// Malformed frames are counted and skipped. The owned conversion reuses
+    /// pooled packet buffers ([`PacketView::to_owned_into`]), so in steady
+    /// state this path does not allocate at all — not even for writes.
+    pub fn process_burst_scalar<'a>(
         &mut self,
         frames: impl Iterator<Item = &'a [u8]>,
         replies: &mut BatchEncoder,
@@ -327,9 +613,13 @@ impl Shard {
             return;
         }
         self.stats.bursts += 1;
+        self.run_waves(replies);
+    }
 
-        // Run the burst to completion in waves: group packets addressed to
-        // the same switch and step them as one batch.
+    /// Runs the in-flight waves (`self.wave`) to completion: group packets
+    /// addressed to the same switch and step them as one batch, collecting
+    /// each wave's continuing packets into the next.
+    fn run_waves(&mut self, replies: &mut BatchEncoder) {
         while !self.wave.is_empty() {
             self.stats.waves += 1;
             let mut wave = std::mem::take(&mut self.wave);
@@ -542,6 +832,127 @@ mod tests {
         let sw = shard.switch(tail).unwrap();
         let slot = sw.kv().lookup(&key).unwrap();
         assert_eq!(sw.kv().seq(slot), 32);
+    }
+
+    /// Swaps the UDP ports of a query frame off the NetChain port, keeping
+    /// every other field (including the IP checksum) intact.
+    fn off_port(mut frame: Vec<u8>) -> Vec<u8> {
+        frame[34..36].copy_from_slice(&1234u16.to_be_bytes());
+        frame[36..38].copy_from_slice(&53u16.to_be_bytes());
+        frame
+    }
+
+    #[test]
+    fn staged_burst_matches_scalar_reference() {
+        let ring = test_ring();
+        let mut staged = Shard::new(0, 1, ring.clone(), PipelineConfig::tiny(64));
+        let mut scalar = Shard::new(0, 1, ring.clone(), PipelineConfig::tiny(64));
+        let keys: Vec<Key> = (0..6u64).map(Key::from_u64).collect();
+        for k in &keys {
+            staged.populate(*k, &Value::from_u64(7));
+            scalar.populate(*k, &Value::from_u64(7));
+        }
+        let missing = Key::from_name("not/populated");
+        // A mix crossing one chunk boundary: fast-lane reads (hits and index
+        // misses), chain writes, malformed frames, and a valid frame on a
+        // non-NetChain port.
+        let frames: Vec<Vec<u8>> = (0..40u64)
+            .map(|i| match i % 5 {
+                0 => query_frame(
+                    &ring,
+                    keys[(i % 6) as usize],
+                    OpCode::Read,
+                    Value::empty(),
+                    i,
+                ),
+                1 => query_frame(
+                    &ring,
+                    keys[(i % 6) as usize],
+                    OpCode::Write,
+                    Value::from_u64(100 + i),
+                    i,
+                ),
+                2 => query_frame(&ring, missing, OpCode::Read, Value::empty(), i),
+                3 => {
+                    let mut f = query_frame(&ring, keys[0], OpCode::Read, Value::empty(), i);
+                    f[24] ^= 0xff; // corrupt the IP checksum
+                    f
+                }
+                _ => off_port(query_frame(&ring, keys[1], OpCode::Read, Value::empty(), i)),
+            })
+            .collect();
+        let mut staged_replies = BatchEncoder::new();
+        let mut scalar_replies = BatchEncoder::new();
+        staged.process_burst(frames.iter().map(|f| f.as_slice()), &mut staged_replies);
+        scalar.process_burst_scalar(frames.iter().map(|f| f.as_slice()), &mut scalar_replies);
+        assert_eq!(staged.stats(), scalar.stats());
+        assert_eq!(staged_replies.len(), scalar_replies.len());
+        for (i, (a, b)) in staged_replies
+            .frames()
+            .zip(scalar_replies.frames())
+            .enumerate()
+        {
+            assert_eq!(a, b, "reply frame {i} diverges from the scalar bytes");
+        }
+        for ip in ring.switches() {
+            assert_eq!(
+                staged.switch(*ip).unwrap().stats(),
+                scalar.switch(*ip).unwrap().stats(),
+                "switch {ip:?} stats diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn staged_mixed_burst_drops_garbage_keeps_write_order() {
+        let ring = test_ring();
+        let mut shard = Shard::new(0, 1, ring.clone(), PipelineConfig::tiny(64));
+        let key = Key::from_name("ordered/garbage");
+        shard.populate(key, &Value::from_u64(0));
+        // Interleave 32 writes to one key with malformed frames of assorted
+        // shapes; the staged path must drop exactly the garbage and apply the
+        // writes in issue order.
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut garbage = 0u64;
+        for i in 0..32u64 {
+            frames.push(query_frame(
+                &ring,
+                key,
+                OpCode::Write,
+                Value::from_u64(i),
+                i,
+            ));
+            match i % 3 {
+                0 => {
+                    frames.push(vec![0u8; 40]); // truncated
+                    garbage += 1;
+                }
+                1 => {
+                    let mut f = query_frame(&ring, key, OpCode::Read, Value::empty(), 1000 + i);
+                    f[42] = 0x99; // invalid opcode byte
+                    frames.push(f);
+                    garbage += 1;
+                }
+                _ => {}
+            }
+        }
+        let mut replies = BatchEncoder::new();
+        shard.process_burst(frames.iter().map(|f| f.as_slice()), &mut replies);
+        assert_eq!(shard.stats().parse_errors, garbage);
+        assert_eq!(shard.stats().frames_in, frames.len() as u64);
+        assert_eq!(replies.len(), 32);
+        for (i, frame) in replies.frames().enumerate() {
+            let reply = PacketView::parse(frame).unwrap();
+            assert_eq!(reply.netchain.op(), OpCode::WriteReply);
+            assert_eq!(reply.netchain.request_id(), i as u64);
+            assert_eq!(reply.netchain.value(), (i as u64).to_be_bytes());
+        }
+        // A following fast-lane read observes the last write.
+        replies.clear();
+        let read = query_frame(&ring, key, OpCode::Read, Value::empty(), 99);
+        shard.process_burst(std::iter::once(read.as_slice()), &mut replies);
+        let read_reply = PacketView::parse(replies.frame(0)).unwrap();
+        assert_eq!(read_reply.netchain.value(), 31u64.to_be_bytes());
     }
 
     #[test]

@@ -132,6 +132,9 @@ pub struct FabricReport {
     pub latency: HistSnapshot,
     /// Merged in-band traces (empty when tracing is off).
     pub traces: Vec<PacketTrace>,
+    /// Shard threads successfully pinned to a core (0 unless
+    /// `FabricConfig::pin_shards` is set and the platform supports it).
+    pub pinned_shards: usize,
 }
 
 impl FabricReport {

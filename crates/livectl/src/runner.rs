@@ -349,9 +349,15 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
         let ctl_done = Arc::clone(&ctrl_done);
         let burst = fabric.burst;
         let num_clients = fabric.num_clients;
+        let pin = fabric.pin_shards;
         let handle = std::thread::Builder::new()
             .name(format!("livectl-shard-{s}"))
             .spawn(move || {
+                if pin {
+                    // Advisory, exactly as in `run_live`: a failed pin still
+                    // runs the shard, merely unpinned.
+                    let _ = netchain_fabric::pin_thread(s);
+                }
                 let mut frames: Vec<Frame> = Vec::with_capacity(burst);
                 let mut replies = BatchEncoder::with_capacity(burst, 128);
                 loop {

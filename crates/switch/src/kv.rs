@@ -179,6 +179,51 @@ impl SwitchKvStore {
         Value::new(bytes).expect("stored values never exceed the wire maximum")
     }
 
+    /// Length in bytes of the value stored in `slot`, without reassembling
+    /// it (the staged read path sizes its in-place reply emission with this).
+    pub fn value_len(&self, slot: usize) -> usize {
+        self.lengths.read_u64(slot) as usize
+    }
+
+    /// Copies the value stored in `slot` into `out` (which must be exactly
+    /// [`Self::value_len`] bytes), reassembling across stages without the
+    /// `Vec` allocation [`Self::read_value`] pays. Returns the bytes copied.
+    pub fn copy_value_into(&self, slot: usize, out: &mut [u8]) -> usize {
+        let len = self.value_len(slot);
+        debug_assert_eq!(out.len(), len, "output must be sized by value_len");
+        let mut copied = 0;
+        for stage in &self.value_stages {
+            if copied == len {
+                break;
+            }
+            let take = (len - copied).min(self.config.bytes_per_stage);
+            out[copied..copied + take].copy_from_slice(&stage.read(slot)[..take]);
+            copied += take;
+        }
+        copied
+    }
+
+    /// Stage 3 of the staged batch pipeline: resolves the slot of every lane
+    /// through the index's open-addressed mirror using **precomputed** stable
+    /// hashes (see `stable_hash_batch`), and touches each hit's ordering and
+    /// length registers so the slot state stage 4 executes against is
+    /// cache-hot — the software analogue of a hardware prefetch. Stage 4
+    /// re-reads the registers at execution time, so interleaved mutations in
+    /// the same burst observe and produce exactly the scalar path's state.
+    pub fn probe_slots(&self, keys: &[Key], hashes: &[u64], out: &mut Vec<Option<usize>>) {
+        debug_assert_eq!(keys.len(), hashes.len());
+        let mut touch = 0u64;
+        for (key, &hash) in keys.iter().zip(hashes) {
+            let slot = self.index.lookup_with_hash(hash, key);
+            if let Some(s) = slot {
+                touch ^=
+                    self.seqs.read_u64(s) ^ self.sessions.read_u64(s) ^ self.lengths.read_u64(s);
+            }
+            out.push(slot);
+        }
+        std::hint::black_box(touch);
+    }
+
     /// Writes a value into `slot`, splitting it across stages.
     pub fn write_value(&mut self, slot: usize, value: &Value) {
         let bytes = value.as_bytes();

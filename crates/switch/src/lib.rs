@@ -34,10 +34,12 @@ pub mod register;
 pub mod stats;
 pub mod table;
 
-pub use forward::{FailoverAction, FailoverRule, ForwardingTable, RuleScope};
+pub use forward::{stable_hash_batch, FailoverAction, FailoverRule, ForwardingTable, RuleScope};
 pub use kv::{ExportedEntry, KvError, SwitchKvStore};
 pub use pipeline::{PipelineConfig, ResourceUsage};
-pub use program::{cas_value, DropReason, NetChainSwitch, SwitchAction, SwitchRole};
+pub use program::{
+    cas_value, DropReason, NetChainSwitch, StagedOutcome, StagedPacket, SwitchAction, SwitchRole,
+};
 pub use register::RegisterArray;
 pub use stats::SwitchStats;
 pub use table::MatchTable;

@@ -14,7 +14,7 @@ use crate::forward::{FailoverAction, ForwardingTable};
 use crate::kv::SwitchKvStore;
 use crate::pipeline::PipelineConfig;
 use crate::stats::SwitchStats;
-use netchain_wire::{Ipv4Addr, NetChainPacket, OpCode, QueryStatus, Value};
+use netchain_wire::{BatchEncoder, Ipv4Addr, NetChainPacket, OpCode, QueryStatus, Value};
 
 /// Why a switch dropped a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,50 @@ pub enum SwitchAction {
     Forward(NetChainPacket),
     /// Drop the packet.
     Drop(DropReason),
+}
+
+/// One item of a staged burst handed to [`NetChainSwitch::step_batch_staged`].
+///
+/// The caller's stage-3 prepass decides the lane: read queries addressed to a
+/// live, rule-free switch ride the borrowed fast lane with their probed index
+/// slot; everything else is materialised into an owned packet and takes the
+/// scalar path.
+#[derive(Debug)]
+pub enum StagedPacket<'a> {
+    /// A validated read-query frame plus its probed register slot (`None` on
+    /// an index miss). `client` and `request_id` are the query's source IP
+    /// and request id, echoed back in the outcome so the caller can account
+    /// for the reply without re-parsing the frame.
+    FastRead {
+        /// The raw query frame (borrowed from the receive buffer).
+        frame: &'a [u8],
+        /// Stage-3 probe result: the key's register slot, if indexed.
+        slot: Option<usize>,
+        /// The querying client's IP (the frame's IPv4 source).
+        client: Ipv4Addr,
+        /// The query's request id.
+        request_id: u64,
+    },
+    /// Any other packet; handled exactly like [`NetChainSwitch::step_batch`].
+    Owned(NetChainPacket),
+}
+
+/// Per-item outcome of [`NetChainSwitch::step_batch_staged`], in item order.
+#[derive(Debug)]
+pub enum StagedOutcome {
+    /// A fast-lane read reply, already written into the encoder. Carries the
+    /// client IP and request id for the caller's reply accounting.
+    FastReply {
+        /// Destination of the emitted reply.
+        client: Ipv4Addr,
+        /// Request id of the answered query.
+        request_id: u64,
+    },
+    /// An owned packet turned into a reply, already written into the encoder;
+    /// the packet itself is returned for buffer pooling.
+    Reply(NetChainPacket),
+    /// A non-reply verdict on an owned packet (chain forward or drop).
+    Action(SwitchAction),
 }
 
 /// Role a switch plays for a given query, derived per packet (diagnostic).
@@ -166,6 +210,73 @@ impl NetChainSwitch {
         for pkt in pkts {
             out.push(self.handle(pkt));
         }
+    }
+
+    /// Stage 4 of the staged batch pipeline: executes a burst whose frames
+    /// were already validated (stage 1), hashed (stage 2) and probed
+    /// (stage 3), pushing per-item outcomes to `out` **in item order**.
+    ///
+    /// Fast-lane read queries never materialise a [`NetChainPacket`]: the
+    /// reply is emitted straight from the query frame and the register arrays
+    /// into `replies`. Everything else goes through [`Self::handle`] exactly
+    /// as [`Self::step_batch`] would, and reply packets are *also* pushed
+    /// into `replies` so the encoder sees replies in the same order a scalar
+    /// pass would produce them. Stats, per-key ordering within the burst and
+    /// reply bytes are identical to the scalar path (pinned by tests).
+    pub fn step_batch_staged<'a>(
+        &mut self,
+        pkts: impl IntoIterator<Item = StagedPacket<'a>>,
+        replies: &mut BatchEncoder,
+        out: &mut Vec<StagedOutcome>,
+    ) {
+        for item in pkts {
+            match item {
+                StagedPacket::FastRead {
+                    frame,
+                    slot,
+                    client,
+                    request_id,
+                } => {
+                    self.staged_read_reply(frame, slot, replies);
+                    out.push(StagedOutcome::FastReply { client, request_id });
+                }
+                StagedPacket::Owned(pkt) => match self.handle(pkt) {
+                    SwitchAction::Forward(p) if p.netchain.op.is_reply() => {
+                        replies.push(&p).expect("replies are bounded like queries");
+                        out.push(StagedOutcome::Reply(p));
+                    }
+                    action => out.push(StagedOutcome::Action(action)),
+                },
+            }
+        }
+    }
+
+    /// The fast read lane: [`Self::process_read`] semantics (same stats, same
+    /// reply bytes) executed against a stage-3 probed slot, writing the reply
+    /// directly into the batch encoder.
+    fn staged_read_reply(&mut self, frame: &[u8], slot: Option<usize>, replies: &mut BatchEncoder) {
+        self.stats.packets_seen += 1;
+        self.stats.reads += 1;
+        let live = slot.filter(|&s| self.kv.is_valid(s));
+        let (status, session, seq, value_len) = match live {
+            Some(s) => (
+                QueryStatus::Ok,
+                self.kv.session(s) as u16,
+                self.kv.seq(s),
+                self.kv.value_len(s),
+            ),
+            None => {
+                self.stats.misses += 1;
+                (QueryStatus::NotFound, 0, 0, 0)
+            }
+        };
+        let kv = &self.kv;
+        replies.push_read_reply(frame, self.ip, status, session, seq, value_len, |buf| {
+            if let Some(s) = live {
+                kv.copy_value_into(s, buf);
+            }
+        });
+        self.stats.replies_generated += 1;
     }
 
     /// Handles one NetChain packet arriving at this switch. The caller (the
@@ -782,6 +893,90 @@ mod tests {
         let seq_out: Vec<SwitchAction> = pkts.into_iter().map(|p| sequential.handle(p)).collect();
         assert_eq!(batch_out, seq_out);
         assert_eq!(batched.stats(), sequential.stats());
+    }
+
+    #[test]
+    fn staged_batch_matches_scalar_path() {
+        let mut staged = switch(0);
+        let mut scalar = switch(0);
+        let miss = {
+            let mut p = read_query(0);
+            p.netchain.key = Key::from_name("absent");
+            p
+        };
+        // Interleave fast-lane reads (hit and miss) with tail writes (reply)
+        // and chain-forward writes (non-reply) so the staged path is checked
+        // against mutations landing between reads of the same key.
+        let pkts: Vec<NetChainPacket> = (0..16)
+            .map(|i| match i % 4 {
+                0 => read_query(0),
+                1 => write_query(0, vec![], 500 + i),
+                2 => miss.clone(),
+                _ => write_query(0, vec![1], 900 + i),
+            })
+            .collect();
+
+        let mut scalar_replies = BatchEncoder::new();
+        let mut scalar_actions = Vec::new();
+        for p in pkts.clone() {
+            let act = scalar.handle(p);
+            if let SwitchAction::Forward(ref r) = act {
+                if r.netchain.op.is_reply() {
+                    scalar_replies.push(r).unwrap();
+                }
+            }
+            scalar_actions.push(act);
+        }
+
+        // The staged prepass probes slots before any packet executes — the
+        // index never changes mid-burst, so the slots stay correct even with
+        // writes in between; values are re-read at execution time.
+        let frames: Vec<Vec<u8>> = pkts.iter().map(|p| p.to_bytes()).collect();
+        let items: Vec<StagedPacket> = pkts
+            .iter()
+            .zip(&frames)
+            .map(|(p, f)| {
+                if p.netchain.op == OpCode::Read {
+                    StagedPacket::FastRead {
+                        frame: f.as_slice(),
+                        slot: staged.kv().lookup(&p.netchain.key),
+                        client: p.ip.src,
+                        request_id: p.netchain.request_id,
+                    }
+                } else {
+                    StagedPacket::Owned(p.clone())
+                }
+            })
+            .collect();
+        let mut staged_replies = BatchEncoder::new();
+        let mut outcomes = Vec::new();
+        staged.step_batch_staged(items, &mut staged_replies, &mut outcomes);
+
+        assert_eq!(staged.stats(), scalar.stats());
+        assert_eq!(staged_replies.len(), scalar_replies.len());
+        for (i, (a, b)) in staged_replies
+            .frames()
+            .zip(scalar_replies.frames())
+            .enumerate()
+        {
+            assert_eq!(a, b, "reply frame {i} diverges from the scalar bytes");
+        }
+        assert_eq!(outcomes.len(), scalar_actions.len());
+        for (o, a) in outcomes.iter().zip(&scalar_actions) {
+            match (o, a) {
+                (StagedOutcome::FastReply { client, request_id }, SwitchAction::Forward(p)) => {
+                    assert!(p.netchain.op.is_reply());
+                    assert_eq!(*client, p.ip.dst);
+                    assert_eq!(*request_id, p.netchain.request_id);
+                }
+                (StagedOutcome::Reply(rp), SwitchAction::Forward(p)) => {
+                    assert!(p.netchain.op.is_reply());
+                    assert_eq!(rp, p);
+                }
+                (StagedOutcome::Action(sa), act) => assert_eq!(sa, act),
+                other => panic!("mismatched outcome/action pair: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -8,20 +8,48 @@
 use netchain_wire::Key;
 use std::collections::HashMap;
 
+/// One cell of the open-addressed probe mirror.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ProbeSlot {
+    Empty,
+    /// A removed entry: probes continue past it, inserts may reuse it.
+    Tombstone,
+    Full {
+        hash: u64,
+        key: Key,
+        index: usize,
+    },
+}
+
 /// An exact-match table from [`Key`] to a register-array index, with a fixed
 /// capacity (the number of value slots provisioned in the pipeline).
+///
+/// Besides the `HashMap` that serves the scalar [`MatchTable::lookup`], the
+/// table maintains an open-addressed mirror keyed by the key's *stable* FNV
+/// hash. The staged batch path hashes all keys of a burst in one pass
+/// (`stable_hash_batch`) and then probes the mirror with those precomputed
+/// hashes ([`MatchTable::lookup_with_hash`]), skipping the per-lookup SipHash
+/// the `HashMap` would charge. Both structures are updated together on the
+/// (control-plane) insert/remove paths, so they can never disagree.
 #[derive(Debug, Clone)]
 pub struct MatchTable {
     entries: HashMap<Key, usize>,
     capacity: usize,
+    probe: Vec<ProbeSlot>,
+    /// `probe.len() - 1`; the probe table is a power of two at least twice
+    /// the capacity, keeping the load factor at or below one half.
+    mask: usize,
 }
 
 impl MatchTable {
     /// Creates an empty table that can hold at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
+        let slots = (capacity.max(1) * 2).next_power_of_two();
         MatchTable {
             entries: HashMap::with_capacity(capacity.min(1 << 16)),
             capacity,
+            probe: vec![ProbeSlot::Empty; slots],
+            mask: slots - 1,
         }
     }
 
@@ -52,6 +80,28 @@ impl MatchTable {
         self.entries.get(key).copied()
     }
 
+    /// Looks up `key` through the open-addressed mirror using its
+    /// **precomputed** stable hash (`key.stable_hash()`), the stage-3 probe
+    /// of the staged batch path. Returns exactly what [`MatchTable::lookup`]
+    /// returns.
+    pub fn lookup_with_hash(&self, hash: u64, key: &Key) -> Option<usize> {
+        let mut i = (hash as usize) & self.mask;
+        // Bounded by a full sweep: a table saturated with tombstones (only
+        // reachable through pathological churn) must still terminate.
+        for _ in 0..self.probe.len() {
+            match &self.probe[i] {
+                ProbeSlot::Empty => return None,
+                ProbeSlot::Full {
+                    hash: h,
+                    key: k,
+                    index,
+                } if *h == hash && k == key => return Some(*index),
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+        None
+    }
+
     /// Installs an entry (control-plane operation). Returns `false` if the
     /// table is full or the key already exists.
     pub fn insert(&mut self, key: Key, index: usize) -> bool {
@@ -59,13 +109,37 @@ impl MatchTable {
             return false;
         }
         self.entries.insert(key, index);
+        let hash = key.stable_hash();
+        let mut i = (hash as usize) & self.mask;
+        while matches!(self.probe[i], ProbeSlot::Full { .. }) {
+            i = (i + 1) & self.mask;
+        }
+        self.probe[i] = ProbeSlot::Full { hash, key, index };
         true
     }
 
     /// Removes an entry (control-plane operation), returning the index it
     /// pointed at.
     pub fn remove(&mut self, key: &Key) -> Option<usize> {
-        self.entries.remove(key)
+        let removed = self.entries.remove(key)?;
+        let hash = key.stable_hash();
+        let mut i = (hash as usize) & self.mask;
+        loop {
+            match &self.probe[i] {
+                ProbeSlot::Full {
+                    hash: h, key: k, ..
+                } if *h == hash && k == key => {
+                    self.probe[i] = ProbeSlot::Tombstone;
+                    break;
+                }
+                ProbeSlot::Empty => {
+                    debug_assert!(false, "probe mirror out of sync with entries");
+                    break;
+                }
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+        Some(removed)
     }
 
     /// Iterates over all `(key, index)` pairs (used by state synchronisation
@@ -109,6 +183,29 @@ mod tests {
         assert!(t.is_full());
         assert!(!t.insert(Key::from_u64(3), 2));
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn hashed_probe_agrees_with_map_lookup_under_churn() {
+        let mut t = MatchTable::new(64);
+        for i in 0..64u64 {
+            assert!(t.insert(Key::from_u64(i), i as usize));
+        }
+        // Remove every third key (leaves tombstones), then re-insert a few.
+        for i in (0..64u64).step_by(3) {
+            assert!(t.remove(&Key::from_u64(i)).is_some());
+        }
+        for i in (0..30u64).step_by(3) {
+            assert!(t.insert(Key::from_u64(i), 1000 + i as usize));
+        }
+        for i in 0..80u64 {
+            let k = Key::from_u64(i);
+            assert_eq!(
+                t.lookup_with_hash(k.stable_hash(), &k),
+                t.lookup(&k),
+                "divergence for key {i}"
+            );
+        }
     }
 
     #[test]

@@ -44,9 +44,12 @@ pub use error::{WireError, WireResult};
 pub use ethernet::{EtherType, EthernetHeader, MacAddr, ETHERNET_HEADER_LEN};
 pub use ipv4::{Ipv4Addr, Ipv4Header, Protocol, IPV4_HEADER_LEN};
 pub use netchain::{
-    ChainList, Key, NetChainHeader, OpCode, QueryStatus, Value, KEY_LEN, MAX_CHAIN_LEN,
-    MAX_VALUE_LEN, NETCHAIN_FIXED_HEADER_LEN, NETCHAIN_UDP_PORT,
+    ChainList, Key, NetChainHeader, OpCode, QueryStatus, Value, FNV64_OFFSET, FNV64_PRIME, KEY_LEN,
+    MAX_CHAIN_LEN, MAX_VALUE_LEN, NETCHAIN_FIXED_HEADER_LEN, NETCHAIN_UDP_PORT,
 };
 pub use packet::NetChainPacket;
 pub use udp::{UdpHeader, UDP_HEADER_LEN};
-pub use view::{BatchEncoder, NetChainView, PacketView};
+pub use view::{
+    validate_batch, validate_frame, BatchEncoder, BatchView, NetChainView, PacketView, ParsedBatch,
+    BATCH_WIDTH, MIN_FRAME_LEN,
+};

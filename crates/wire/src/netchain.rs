@@ -106,11 +106,19 @@ impl fmt::Display for Key {
     }
 }
 
+/// FNV-1a 64-bit offset basis. Public so batched implementations of
+/// [`Key::stable_hash`] (lane-parallel hashing in the staged fabric path)
+/// can share the exact constants instead of re-deriving them.
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime (see [`FNV64_OFFSET`]).
+pub const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
 fn fnv1a64(bytes: impl Iterator<Item = u8>) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hash: u64 = FNV64_OFFSET;
     for b in bytes {
         hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        hash = hash.wrapping_mul(FNV64_PRIME);
     }
     hash
 }

@@ -2,11 +2,15 @@
 //! (`NetChainView` / `PacketView`) against the owned parsers: on every byte
 //! string — well-formed, mutated, or arbitrary garbage — both must agree on
 //! accept/reject, and on acceptance the view's owned conversion must equal
-//! the owned parse exactly.
+//! the owned parse exactly. The same equivalence is pinned for the staged
+//! batch parser ([`BatchView`] / [`validate_frame`]): its branch-free
+//! accept-set and its structure-of-arrays lanes must match the scalar
+//! [`PacketView`] on every frame, well-formed or not.
 
 use netchain_wire::{
-    ChainList, Ipv4Addr, Key, NetChainHeader, NetChainPacket, NetChainView, OpCode, PacketView,
-    QueryStatus, Value, MAX_CHAIN_LEN, MAX_VALUE_LEN,
+    validate_frame, BatchView, ChainList, Ipv4Addr, Key, NetChainHeader, NetChainPacket,
+    NetChainView, OpCode, PacketView, QueryStatus, Value, BATCH_WIDTH, MAX_CHAIN_LEN,
+    MAX_VALUE_LEN,
 };
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
@@ -76,6 +80,27 @@ fn arb_packet() -> impl Strategy<Value = NetChainPacket> {
             )
         },
     )
+}
+
+/// One frame of any provenance: a well-formed packet, a truncation of one,
+/// a single-byte corruption of one, or arbitrary garbage — the mix a shard's
+/// ingress ring can actually contain.
+fn arb_frame() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        arb_packet().prop_map(|p| p.to_bytes()),
+        (arb_packet(), 0.0f64..1.0).prop_map(|(p, frac)| {
+            let bytes = p.to_bytes();
+            let cut = (bytes.len() as f64 * frac) as usize;
+            bytes[..cut].to_vec()
+        }),
+        (arb_packet(), 0.0f64..1.0, any::<u8>()).prop_map(|(p, frac, byte)| {
+            let mut bytes = p.to_bytes();
+            let pos = ((bytes.len() - 1) as f64 * frac) as usize;
+            bytes[pos] = byte;
+            bytes
+        }),
+        proptest::collection::vec(any::<u8>(), 0..200),
+    ]
 }
 
 /// Asserts that the view parser and the owned parser agree on `bytes`:
@@ -180,5 +205,51 @@ proptest! {
         if let (Ok(owned), Ok(view)) = (owned, view) {
             prop_assert_eq!(view.to_owned(), owned);
         }
+    }
+
+    /// The staged validator's branch-free accept-set is *exactly* the scalar
+    /// parser's: `validate_frame` accepts a frame iff `PacketView::parse`
+    /// does, on every frame provenance.
+    #[test]
+    fn validate_frame_matches_scalar_parse(frame in arb_frame()) {
+        prop_assert_eq!(validate_frame(&frame), PacketView::parse(&frame).is_ok());
+    }
+
+    /// The batch parser agrees with the scalar parser lane by lane on mixed
+    /// bursts: the same accept/reject verdict per frame, identical SoA field
+    /// lanes, and an identical owned packet through `BatchView::view`.
+    #[test]
+    fn batch_view_matches_scalar_parse_lane_by_lane(
+        frames in proptest::collection::vec(arb_frame(), 0..=BATCH_WIDTH),
+    ) {
+        let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        let bv = BatchView::parse(&refs);
+        let batch = bv.batch();
+        prop_assert_eq!(batch.len(), frames.len());
+        prop_assert_eq!(bv.len(), frames.len());
+        let mut invalid = 0usize;
+        for (i, frame) in refs.iter().enumerate() {
+            match PacketView::parse(frame) {
+                Ok(view) => {
+                    prop_assert!(batch.is_valid(i), "lane {} wrongly rejected", i);
+                    prop_assert_eq!(batch.is_netchain(i), view.is_netchain());
+                    prop_assert_eq!(batch.op(i), view.netchain.op().to_u8());
+                    prop_assert_eq!(batch.src(i), u32::from_be_bytes(view.ip.src.0));
+                    prop_assert_eq!(batch.dst(i), u32::from_be_bytes(view.ip.dst.0));
+                    prop_assert_eq!(batch.seq(i), view.netchain.seq());
+                    prop_assert_eq!(batch.request_id(i), view.netchain.request_id());
+                    prop_assert_eq!(batch.key(i), view.netchain.key());
+                    prop_assert_eq!(batch.value_len(i), view.netchain.value().len());
+                    prop_assert_eq!(bv.frame(i), *frame);
+                    prop_assert_eq!(bv.view(i).to_owned(), view.to_owned());
+                }
+                Err(_) => {
+                    invalid += 1;
+                    prop_assert!(!batch.is_valid(i), "lane {} wrongly accepted", i);
+                    prop_assert!(!batch.is_netchain(i));
+                }
+            }
+        }
+        prop_assert_eq!(batch.invalid_count(), invalid);
     }
 }

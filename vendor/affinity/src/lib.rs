@@ -1,0 +1,110 @@
+//! Minimal thread→core pinning.
+//!
+//! The standard library deliberately exposes no CPU-affinity API, so this
+//! crate wraps the one syscall the fabric needs — `sched_setaffinity(2)` on
+//! the calling thread — directly against the system libc, with a no-op
+//! fallback on every other platform. Nothing else: no topology discovery, no
+//! NUMA awareness, no cgroup parsing. Callers that want "one shard per core"
+//! simply pin thread `i` to CPU `i % available_cpus()`.
+//!
+//! The wrapper is deliberately vendored instead of pulling a crates.io
+//! dependency: the whole API surface is three functions, and keeping it in
+//! the workspace means the build never needs the network.
+
+#![warn(missing_docs)]
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use std::io;
+
+    /// Mirrors glibc's `cpu_set_t`: a 1024-bit mask (`CPU_SETSIZE`), here as
+    /// sixteen 64-bit words.
+    #[repr(C)]
+    struct CpuSet {
+        bits: [u64; 16],
+    }
+
+    const MAX_CPU: usize = 16 * 64;
+
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const CpuSet) -> i32;
+        fn sched_getcpu() -> i32;
+    }
+
+    /// Pins the calling thread to `cpu`. Fails if the CPU id is outside the
+    /// mask or the kernel rejects the affinity (e.g. a restricted cpuset).
+    pub fn pin_current_thread(cpu: usize) -> io::Result<()> {
+        if cpu >= MAX_CPU {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cpu id beyond CPU_SETSIZE",
+            ));
+        }
+        let mut set = CpuSet { bits: [0; 16] };
+        set.bits[cpu / 64] = 1u64 << (cpu % 64);
+        // pid 0 addresses the calling thread.
+        let rc = unsafe { sched_setaffinity(0, std::mem::size_of::<CpuSet>(), &set) };
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    /// The CPU the calling thread is currently running on.
+    pub fn current_cpu() -> Option<usize> {
+        let cpu = unsafe { sched_getcpu() };
+        usize::try_from(cpu).ok()
+    }
+
+    /// True on platforms where pinning actually takes effect.
+    pub const SUPPORTED: bool = true;
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use std::io;
+
+    /// No-op fallback: reports the platform as unsupported.
+    pub fn pin_current_thread(_cpu: usize) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "thread pinning is only implemented on linux",
+        ))
+    }
+
+    /// Unknown on platforms without `sched_getcpu`.
+    pub fn current_cpu() -> Option<usize> {
+        None
+    }
+
+    /// True on platforms where pinning actually takes effect.
+    pub const SUPPORTED: bool = false;
+}
+
+pub use imp::{current_cpu, pin_current_thread, SUPPORTED};
+
+/// Number of CPUs the process may run on (at least 1).
+pub fn available_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn pinning_moves_the_thread() {
+        let last = available_cpus() - 1;
+        pin_current_thread(last).expect("pinning to an available cpu succeeds");
+        assert_eq!(current_cpu(), Some(last));
+        pin_current_thread(0).expect("re-pinning succeeds");
+        assert_eq!(current_cpu(), Some(0));
+    }
+
+    #[test]
+    fn out_of_range_cpu_is_rejected_or_unsupported() {
+        assert!(pin_current_thread(usize::MAX).is_err());
+    }
+}
