@@ -1,0 +1,11 @@
+//! Measures the real-socket dataplane (`netchain-net`): open-loop ops/sec
+//! and coordinated-omission-free latency quantiles, batched
+//! (`recvmmsg`/`sendmmsg`) vs single-packet syscalls on the identical
+//! pipeline. Writes the repo-top-level `BENCH_net.json`.
+//!
+//! `--smoke` runs a sub-second configuration (CI).
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    netchain_experiments::net_scale::run_cli(smoke);
+}

@@ -39,6 +39,7 @@ pub mod failover_live;
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;
+pub mod net_scale;
 pub mod series;
 pub mod table1;
 pub mod telemetry_overhead;

@@ -7,18 +7,12 @@
 //! touch the allocator, and the consumer parses straight out of the slot with
 //! the zero-copy [`netchain_wire::PacketView`].
 
-use netchain_wire::{
-    NetChainPacket, WireError, WireResult, ETHERNET_HEADER_LEN, IPV4_HEADER_LEN, MAX_CHAIN_LEN,
-    MAX_VALUE_LEN, NETCHAIN_FIXED_HEADER_LEN, UDP_HEADER_LEN,
-};
+use netchain_wire::{NetChainPacket, WireError, WireResult};
 
-/// Maximum serialized size of a NetChain packet.
-pub const MAX_FRAME_LEN: usize = ETHERNET_HEADER_LEN
-    + IPV4_HEADER_LEN
-    + UDP_HEADER_LEN
-    + NETCHAIN_FIXED_HEADER_LEN
-    + MAX_CHAIN_LEN * 4
-    + MAX_VALUE_LEN;
+/// Maximum serialized size of a NetChain packet (re-exported from the wire
+/// crate, which owns the bound — the socket dataplane sizes its receive
+/// buffers from the same constant).
+pub use netchain_wire::MAX_FRAME_LEN;
 
 /// One serialized packet, stored inline.
 #[derive(Clone)]
@@ -71,7 +65,9 @@ impl std::fmt::Debug for Frame {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netchain_wire::{ChainList, Ipv4Addr, Key, OpCode, PacketView, Value};
+    use netchain_wire::{
+        ChainList, Ipv4Addr, Key, OpCode, PacketView, Value, MAX_CHAIN_LEN, MAX_VALUE_LEN,
+    };
 
     #[test]
     fn frame_roundtrips_largest_packet() {

@@ -201,6 +201,12 @@ impl ClientState {
         self.agent.outstanding()
     }
 
+    /// The underlying agent's full statistics (stale replies, abandonments —
+    /// counters the condensed [`ClientReport`] does not carry).
+    pub fn agent_stats(&self) -> &netchain_core::AgentStats {
+        self.agent.stats()
+    }
+
     /// True once the client has completed its share of the workload.
     pub fn is_done(&self) -> bool {
         self.report.completed >= self.spec.ops_per_client

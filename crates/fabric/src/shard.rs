@@ -51,7 +51,7 @@
 //! ## The packet pool
 //!
 //! Parsing recycles [`NetChainPacket`] buffers through a small pool
-//! ([`PacketView::to_owned_into`]): the chain list and value vectors of a
+//! ([`netchain_wire::PacketPool`]): the chain list and value vectors of a
 //! retired packet are refilled in place for the next frame, removing the
 //! last per-packet allocation on the write path (reads never allocated).
 
@@ -64,13 +64,10 @@ use netchain_switch::{
 };
 use netchain_telemetry::{trace_id, PacketTrace, TraceConfig, TraceSink};
 use netchain_wire::{
-    BatchEncoder, BatchView, Ipv4Addr, Key, NetChainPacket, OpCode, PacketView, Value, BATCH_WIDTH,
+    BatchEncoder, BatchView, Ipv4Addr, Key, NetChainPacket, OpCode, PacketPool, PacketView, Value,
+    BATCH_WIDTH,
 };
 use std::collections::{HashMap, HashSet};
-
-/// Retired packets kept for reuse. A burst in flight needs at most `burst`
-/// packets plus the replies being encoded, so this is generous.
-const POOL_MAX: usize = 256;
 
 /// The steering rule, in one place: `key`'s virtual group modulo the shard
 /// count. Everything that partitions by key — shard ownership, client
@@ -107,7 +104,7 @@ pub struct Shard {
     group: Vec<NetChainPacket>,
     actions: Vec<SwitchAction>,
     /// Retired packets whose allocations the parse path reuses.
-    pool: Vec<NetChainPacket>,
+    pool: PacketPool,
     /// Staged-pipeline scratch: the stage-3 probe inputs gathered per
     /// destination switch, and the per-lane probe results scattered back.
     probe_keys: Vec<Key>,
@@ -163,7 +160,7 @@ impl Shard {
             next_wave: Vec::new(),
             group: Vec::new(),
             actions: Vec::new(),
-            pool: Vec::new(),
+            pool: PacketPool::new(),
             probe_keys: Vec::new(),
             probe_hashes: Vec::new(),
             probe_lanes: Vec::new(),
@@ -470,14 +467,7 @@ impl Shard {
                         },
                     ));
                 } else {
-                    let view = bv.view(i);
-                    let pkt = match self.pool.pop() {
-                        Some(mut recycled) => {
-                            view.to_owned_into(&mut recycled);
-                            recycled
-                        }
-                        None => view.to_owned(),
-                    };
+                    let pkt = self.pool.take(&bv.view(i));
                     items.push((pkt.ip.dst, StagedPacket::Owned(pkt)));
                 }
             }
@@ -534,16 +524,12 @@ impl Shard {
                                             p.netchain.request_id,
                                         ));
                                     }
-                                    if self.pool.len() < POOL_MAX {
-                                        self.pool.push(p);
-                                    }
+                                    self.pool.put(p);
                                 }
                                 StagedOutcome::Action(SwitchAction::Forward(p)) => {
                                     if p.ip.dst == dst && target != Some(dst) {
                                         self.stats.unroutable += 1;
-                                        if self.pool.len() < POOL_MAX {
-                                            self.pool.push(p);
-                                        }
+                                        self.pool.put(p);
                                     } else {
                                         self.next_wave.push(p);
                                     }
@@ -562,9 +548,7 @@ impl Shard {
                         self.stats.unroutable += group.len() as u64;
                         for item in group.drain(..) {
                             if let StagedPacket::Owned(p) = item {
-                                if self.pool.len() < POOL_MAX {
-                                    self.pool.push(p);
-                                }
+                                self.pool.put(p);
                             }
                         }
                     }
@@ -597,13 +581,7 @@ impl Shard {
             self.stats.frames_in += 1;
             match PacketView::parse(bytes) {
                 Ok(view) => {
-                    let pkt = match self.pool.pop() {
-                        Some(mut recycled) => {
-                            view.to_owned_into(&mut recycled);
-                            recycled
-                        }
-                        None => view.to_owned(),
-                    };
+                    let pkt = self.pool.take(&view);
                     self.wave.push(pkt);
                 }
                 Err(_) => self.stats.parse_errors += 1,
@@ -668,17 +646,13 @@ impl Shard {
                                             ));
                                         }
                                         replies.push(&p).expect("replies are bounded like queries");
-                                        if self.pool.len() < POOL_MAX {
-                                            self.pool.push(p);
-                                        }
+                                        self.pool.put(p);
                                     } else if p.ip.dst == dst && target != Some(dst) {
                                         // The gateway had no matching rule and
                                         // passed the packet through unchanged:
                                         // it would sail to the dead switch.
                                         self.stats.unroutable += 1;
-                                        if self.pool.len() < POOL_MAX {
-                                            self.pool.push(p);
-                                        }
+                                        self.pool.put(p);
                                     } else {
                                         self.next_wave.push(p);
                                     }
@@ -694,9 +668,7 @@ impl Shard {
                     None => {
                         self.stats.unroutable += self.group.len() as u64;
                         while let Some(p) = self.group.pop() {
-                            if self.pool.len() < POOL_MAX {
-                                self.pool.push(p);
-                            }
+                            self.pool.put(p);
                         }
                     }
                 }

@@ -5,7 +5,7 @@ use crate::emuswitch::SwitchHandle;
 use netchain_core::{AgentConfig, AgentCore, ChainDirectory, CompletedQuery, HashRing, KvOp};
 use netchain_sim::{SimDuration, SimTime};
 use netchain_switch::{NetChainSwitch, PipelineConfig};
-use netchain_wire::{Ipv4Addr, Key, NetChainPacket, Value};
+use netchain_wire::{Ipv4Addr, Key, NetChainPacket, Value, MAX_FRAME_LEN};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
@@ -128,8 +128,11 @@ impl Deployment {
         Ok(LoopbackClient {
             socket,
             agent,
+            client_ip,
             routes: Arc::clone(&self.routes),
             epoch: Instant::now(),
+            oversized: 0,
+            late_completions: 0,
         })
     }
 }
@@ -138,8 +141,14 @@ impl Deployment {
 pub struct LoopbackClient {
     socket: UdpSocket,
     agent: AgentCore,
+    client_ip: Ipv4Addr,
     routes: Arc<RwLock<HashMap<Ipv4Addr, SocketAddr>>>,
     epoch: Instant,
+    /// Datagrams longer than the longest legal frame, counted not truncated.
+    oversized: u64,
+    /// Replies that completed an *earlier* operation (one whose `execute`
+    /// already returned) — observed, counted, never misattributed.
+    late_completions: u64,
 }
 
 impl LoopbackClient {
@@ -165,7 +174,9 @@ impl LoopbackClient {
         let start = Instant::now();
         let (request_id, pkt) = self.agent.begin(self.now(), op);
         self.transmit(&pkt)?;
-        let mut buf = [0u8; 2048];
+        // One byte past the longest legal frame: any datagram that does not
+        // fit is detectably oversized rather than silently truncated.
+        let mut buf = [0u8; MAX_FRAME_LEN + 1];
         loop {
             if start.elapsed() > deadline {
                 return Err(std::io::Error::new(
@@ -175,11 +186,17 @@ impl LoopbackClient {
             }
             match self.socket.recv_from(&mut buf) {
                 Ok((len, _)) => {
-                    if let Ok(reply) = NetChainPacket::from_bytes(&buf[..len]) {
+                    if len > MAX_FRAME_LEN {
+                        self.oversized += 1;
+                    } else if let Ok(reply) = NetChainPacket::from_bytes(&buf[..len]) {
                         if let Some(done) = self.agent.on_reply(self.now(), &reply) {
                             if done.request_id == request_id {
                                 return Ok(done);
                             }
+                            // A straggler completed an earlier operation whose
+                            // `execute` already returned; count it, never
+                            // attribute it to the op running now.
+                            self.late_completions += 1;
                         }
                     }
                 }
@@ -193,7 +210,10 @@ impl LoopbackClient {
             for retry in outcome.retransmit {
                 self.transmit(&retry)?;
             }
-            if !outcome.abandoned.is_empty() {
+            // Only an abandonment of *this* operation fails it; an earlier
+            // in-flight request exhausting its budget concurrently is not
+            // this op's outcome.
+            if outcome.abandoned.iter().any(|q| q.request_id == request_id) {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::TimedOut,
                     "operation abandoned after retries",
@@ -220,6 +240,30 @@ impl LoopbackClient {
     /// Agent statistics (retries, latency, version regressions).
     pub fn agent_stats(&self) -> &netchain_core::AgentStats {
         self.agent.stats()
+    }
+
+    /// The client's virtual IP.
+    pub fn client_ip(&self) -> Ipv4Addr {
+        self.client_ip
+    }
+
+    /// Datagrams received that exceeded the maximum legal frame length.
+    pub fn oversized(&self) -> u64 {
+        self.oversized
+    }
+
+    /// Replies that completed an earlier (already returned) operation.
+    pub fn late_completions(&self) -> u64 {
+        self.late_completions
+    }
+}
+
+impl Drop for LoopbackClient {
+    /// Deregisters the client's reply route: long-lived deployments churn
+    /// through clients, and a stale entry would alias any future client that
+    /// recycles this virtual IP.
+    fn drop(&mut self) {
+        self.routes.write().remove(&self.client_ip);
     }
 }
 
@@ -256,17 +300,36 @@ mod tests {
     fn every_chain_replica_converges_after_a_write() {
         let mut deployment = Deployment::start(DeploymentConfig::default()).expect("bind loopback");
         let key = Key::from_name("converge");
-        deployment.populate_key(key, &Value::from_u64(1));
+        let chain = deployment.populate_key(key, &Value::from_u64(1));
+        assert!(!chain.is_empty());
         let mut client = deployment.client().expect("client socket");
         client.write(key, Value::from_u64(5)).expect("write");
         // The write reply comes from the tail, so by chain replication every
-        // replica already applied it.
+        // replica already applied it. Every chain member must hold the key —
+        // a replica that never stored it is a replication failure, not a
+        // replica to skip.
         for handle in deployment.switches() {
+            if !chain.contains(&handle.ip()) {
+                continue;
+            }
             let stored =
                 handle.with_switch(|sw| sw.kv().lookup(&key).map(|slot| sw.kv().read_value(slot)));
-            if let Some(value) = stored {
-                assert_eq!(value.as_u64(), Some(5));
-            }
+            let value = stored
+                .unwrap_or_else(|| panic!("chain replica {} never stored the key", handle.ip()));
+            assert_eq!(value.as_u64(), Some(5));
         }
+    }
+
+    #[test]
+    fn dropping_a_client_deregisters_its_route() {
+        let mut deployment = Deployment::start(DeploymentConfig::default()).expect("bind loopback");
+        let client = deployment.client().expect("client socket");
+        let ip = client.client_ip();
+        assert!(deployment.routes.read().contains_key(&ip));
+        drop(client);
+        assert!(
+            !deployment.routes.read().contains_key(&ip),
+            "stale route left behind would alias a recycled client IP"
+        );
     }
 }

@@ -7,11 +7,11 @@
 //! for the destination IP.
 
 use netchain_switch::{NetChainSwitch, SwitchAction};
-use netchain_wire::{Ipv4Addr, NetChainPacket};
+use netchain_wire::{Ipv4Addr, NetChainPacket, MAX_FRAME_LEN};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -25,6 +25,7 @@ pub struct SwitchHandle {
     addr: SocketAddr,
     switch: Arc<Mutex<NetChainSwitch>>,
     shutdown: Arc<AtomicBool>,
+    oversized: Arc<AtomicU64>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -43,12 +44,17 @@ impl SwitchHandle {
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         let switch = Arc::new(Mutex::new(switch));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let oversized = Arc::new(AtomicU64::new(0));
         let thread_switch = Arc::clone(&switch);
         let thread_shutdown = Arc::clone(&shutdown);
+        let thread_oversized = Arc::clone(&oversized);
         let thread = std::thread::Builder::new()
             .name(format!("netchain-switch-{ip}"))
             .spawn(move || {
-                let mut buf = [0u8; 2048];
+                // One byte past the longest legal frame, so an oversized
+                // datagram is detected and counted instead of being silently
+                // truncated into an unparseable prefix.
+                let mut buf = [0u8; MAX_FRAME_LEN + 1];
                 while !thread_shutdown.load(Ordering::Relaxed) {
                     let len = match socket.recv_from(&mut buf) {
                         Ok((len, _)) => len,
@@ -60,6 +66,10 @@ impl SwitchHandle {
                         }
                         Err(_) => break,
                     };
+                    if len > MAX_FRAME_LEN {
+                        thread_oversized.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
                     let Ok(pkt) = NetChainPacket::from_bytes(&buf[..len]) else {
                         continue;
                     };
@@ -77,6 +87,7 @@ impl SwitchHandle {
             addr,
             switch,
             shutdown,
+            oversized,
             thread: Some(thread),
         })
     }
@@ -89,6 +100,12 @@ impl SwitchHandle {
     /// The real socket address the switch listens on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Datagrams received that exceeded the maximum legal frame length
+    /// (dropped and counted, never silently truncated).
+    pub fn oversized(&self) -> u64 {
+        self.oversized.load(Ordering::Relaxed)
     }
 
     /// Control-plane access to the data plane (install keys, rules, read

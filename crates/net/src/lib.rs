@@ -11,15 +11,35 @@
 //! simulator artifact: the same bytes flow through real sockets, the same
 //! destination-IP rewriting steers queries along the chain (here realised as
 //! a UDP-port hop table, since all emulated switches share the loopback
-//! address), and the same consistency machinery applies. It is obviously not
-//! a performance platform — kernel UDP on one machine is millions of times
-//! slower than a Tofino — and the throughput experiments never use it.
+//! address), and the same consistency machinery applies.
+//!
+//! Two deployment shapes coexist:
+//!
+//! * [`Deployment`] — the legacy thread-per-switch shape: one mutex-guarded
+//!   switch per thread, single-packet `recv`/`send`, closed-loop
+//!   [`LoopbackClient`]s. Kept as the didactic reference and the measurable
+//!   pre-rewrite baseline.
+//! * [`NetDataplane`] — the throughput shape ([`dataplane`]): keyspace-
+//!   sharded workers running the fabric's staged
+//!   [`netchain_fabric::Shard`] pipeline zero-copy out of `recvmmsg` burst
+//!   receive buffers (via the vendored `mmsg` shim), with an **open-loop**
+//!   load generator ([`openloop`]) driving thousands of sans-IO agents and
+//!   reporting coordinated-omission-free p50/p99/p999. Kernel UDP on one
+//!   machine is still orders of magnitude slower than a Tofino, but the
+//!   `net_scale` experiment measures what this shape sustains and how much
+//!   batched syscalls buy over the single-packet discipline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dataplane;
 pub mod deployment;
 pub mod emuswitch;
+pub mod iobench;
+pub mod openloop;
 
+pub use dataplane::{FaultSpec, IoMode, IoStats, NetConfig, NetDataplane, NetReport};
 pub use deployment::{Deployment, DeploymentConfig, LoopbackClient};
 pub use emuswitch::SwitchHandle;
+pub use iobench::{syscall_microbench, SyscallBench};
+pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};

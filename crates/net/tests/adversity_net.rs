@@ -1,0 +1,93 @@
+//! Adversity tests: the socket dataplane's fault shim injects packet loss
+//! and reply duplication at the syscall boundary, and the sans-IO agent
+//! machinery must absorb both without consistency damage — retransmissions
+//! recover dropped queries with zero version regressions, and a duplicated
+//! reply must never complete the same query twice.
+
+use std::time::Duration;
+
+use netchain_core::HashRing;
+use netchain_fabric::WorkloadSpec;
+use netchain_net::{run_open_loop, FaultSpec, NetConfig, NetDataplane, OpenLoopConfig};
+use netchain_sim::SimDuration;
+use netchain_switch::PipelineConfig;
+use netchain_wire::{Ipv4Addr, Key, Value};
+
+fn start_plane(num_keys: u64, fault: FaultSpec) -> NetDataplane {
+    let ring = HashRing::new((0..4).map(Ipv4Addr::for_switch).collect(), 8, 3, 7);
+    let populate: Vec<(Key, Value)> = (0..num_keys)
+        .map(|k| (Key::from_u64(k), Value::from_u64(0)))
+        .collect();
+    let config = NetConfig {
+        fault,
+        ..NetConfig::new(ring, 2, PipelineConfig::tiny(4096))
+    };
+    NetDataplane::start(config, &populate).expect("start plane")
+}
+
+#[test]
+fn dropped_queries_are_absorbed_by_retries_without_version_regressions() {
+    // Every 3rd ingress datagram (queries and retransmissions alike) is
+    // dropped at the worker's receive loop. Agents must retransmit through
+    // the loss and complete every single op, and the version-monotonicity
+    // check each agent runs on every reply must stay clean.
+    let plane = start_plane(
+        32,
+        FaultSpec {
+            drop_every: 3,
+            duplicate_every: 0,
+        },
+    );
+    let spec = WorkloadSpec::mixed(32, u64::MAX, 60, 30);
+    let mut config = OpenLoopConfig::new(32, 2, 1_500.0, Duration::from_millis(300));
+    // Tight timeout so retransmissions race through the drop pattern well
+    // inside the drain grace.
+    config.agent_timeout = SimDuration::from_millis(10);
+    config.agent_max_retries = 20;
+    config.drain_grace = Duration::from_secs(2);
+    let report = run_open_loop(&plane, spec, config);
+    let net = plane.shutdown();
+
+    let dropped: u64 = net.io.iter().map(|io| io.shim_dropped).sum();
+    assert!(dropped > 0, "the fault shim never fired");
+    assert!(
+        report.retries > 0,
+        "loss without retransmissions means nothing was dropped"
+    );
+    assert_eq!(report.abandoned, 0, "retry budget must absorb the loss");
+    assert_eq!(
+        report.completed, report.issued,
+        "every op must eventually complete through the loss"
+    );
+    assert_eq!(report.version_regressions, 0);
+}
+
+#[test]
+fn duplicated_replies_never_complete_a_query_twice() {
+    // Every 2nd reply is sent twice. The first copy completes the query and
+    // retires it; the second must be classified stale and discarded — never
+    // matched to a different outstanding op, never double-counted.
+    let plane = start_plane(
+        16,
+        FaultSpec {
+            drop_every: 0,
+            duplicate_every: 2,
+        },
+    );
+    let spec = WorkloadSpec::uniform_read(16, u64::MAX);
+    let config = OpenLoopConfig::new(16, 1, 1_000.0, Duration::from_millis(300));
+    let report = run_open_loop(&plane, spec, config);
+    let net = plane.shutdown();
+
+    let duplicated: u64 = net.io.iter().map(|io| io.shim_duplicated).sum();
+    assert!(duplicated > 0, "the duplication shim never fired");
+    assert_eq!(
+        report.completed, report.issued,
+        "a duplicate reply must not complete a second query"
+    );
+    assert!(
+        report.stale_replies > 0,
+        "duplicate replies must be counted stale, not silently matched"
+    );
+    assert_eq!(report.version_regressions, 0);
+}

@@ -1,0 +1,195 @@
+//! Differential test: the socket dataplane and the discrete-event simulator
+//! run the *same* switch program (`netchain_switch::NetChainSwitch`), so the
+//! same scripted op sequence must produce identical reply statuses/values and
+//! identical per-switch KV state in both — with the dataplane's copy of every
+//! byte having crossed a real UDP socket. This is the net-mode analogue of
+//! the fabric's `differential_sim` test: any divergence in chain routing,
+//! per-op behaviour, or stored sequence numbers fails loudly.
+
+use std::net::UdpSocket;
+use std::time::{Duration, Instant};
+
+use netchain_core::{AgentCore, ClusterConfig, CompletedQuery, KvOp, NetChainCluster};
+use netchain_net::{NetConfig, NetDataplane};
+use netchain_sim::{SimDuration, SimTime};
+use netchain_switch::{ExportedEntry, PipelineConfig};
+use netchain_wire::{Ipv4Addr, Key, NetChainPacket, Value, MAX_FRAME_LEN};
+
+/// The scripted sequence both executions run: writes, reads (hits and
+/// misses), contended CAS (success then failure), deletes, and a
+/// read-after-delete, spread over enough keys to cross several chains.
+fn script() -> Vec<KvOp> {
+    let keys: Vec<Key> = (0..8)
+        .map(|i| Key::from_name(&format!("diff/key{i}")))
+        .collect();
+    let lock = Key::from_name("diff/lock");
+    let ghost = Key::from_name("diff/never-populated");
+    let mut ops = Vec::new();
+    for (i, &k) in keys.iter().enumerate() {
+        ops.push(KvOp::Write(k, Value::from_u64(100 + i as u64)));
+    }
+    for &k in &keys {
+        ops.push(KvOp::Read(k));
+    }
+    for (i, &k) in keys.iter().enumerate().take(4) {
+        ops.push(KvOp::Write(k, Value::from_u64(200 + i as u64)));
+        ops.push(KvOp::Read(k));
+    }
+    ops.push(KvOp::Cas {
+        key: lock,
+        expected: 0,
+        new: 11,
+    });
+    ops.push(KvOp::Cas {
+        key: lock,
+        expected: 0,
+        new: 22,
+    });
+    ops.push(KvOp::Cas {
+        key: lock,
+        expected: 11,
+        new: 33,
+    });
+    ops.push(KvOp::Read(lock));
+    ops.push(KvOp::Read(ghost));
+    ops.push(KvOp::Delete(keys[7]));
+    ops.push(KvOp::Read(keys[7]));
+    ops
+}
+
+/// Keys the control plane pre-populates (everything the script touches except
+/// the deliberate miss).
+fn populated_keys() -> Vec<Key> {
+    let mut keys: Vec<Key> = (0..8)
+        .map(|i| Key::from_name(&format!("diff/key{i}")))
+        .collect();
+    keys.push(Key::from_name("diff/lock"));
+    keys
+}
+
+/// Sorted, comparable snapshot of one switch's live KV state.
+fn kv_snapshot(entries: impl IntoIterator<Item = ExportedEntry>) -> Vec<ExportedEntry> {
+    let mut v: Vec<ExportedEntry> = entries.into_iter().collect();
+    v.sort_by_key(|a| a.key);
+    v
+}
+
+/// Executes one op against the dataplane over a real socket and returns the
+/// completion, retransmitting on (loopback-rare) loss.
+fn execute(
+    socket: &UdpSocket,
+    agent: &mut AgentCore,
+    plane: &NetDataplane,
+    epoch: Instant,
+    op: KvOp,
+) -> CompletedQuery {
+    let now = || SimTime(epoch.elapsed().as_nanos() as u64);
+    let key = op.key();
+    let (request_id, pkt) = agent.begin(now(), op);
+    socket
+        .send_to(&pkt.to_bytes(), plane.addr_of_key(&key))
+        .expect("send query");
+    let start = Instant::now();
+    let mut buf = [0u8; MAX_FRAME_LEN + 1];
+    loop {
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "op {request_id} timed out"
+        );
+        if let Ok((len, _)) = socket.recv_from(&mut buf) {
+            if let Ok(reply) = NetChainPacket::from_bytes(&buf[..len]) {
+                if let Some(done) = agent.on_reply(now(), &reply) {
+                    assert_eq!(
+                        done.request_id, request_id,
+                        "sequential client completed a different op"
+                    );
+                    return done;
+                }
+            }
+        }
+        for retry in agent.poll_retries(now()).retransmit {
+            let key = retry.netchain.key;
+            let _ = socket.send_to(&retry.to_bytes(), plane.addr_of_key(&key));
+        }
+    }
+}
+
+#[test]
+fn net_dataplane_matches_simulator_on_scripted_ops() {
+    // Both executions share geometry: the testbed ring (4 switches) and a
+    // small identical pipeline, so slot-level state is comparable.
+    let pipeline = PipelineConfig::tiny(256);
+    let config = ClusterConfig {
+        pipeline,
+        ..ClusterConfig::default()
+    };
+
+    // ---- Simulator execution ----
+    let mut cluster = NetChainCluster::testbed(config);
+    for key in populated_keys() {
+        cluster.populate_key(key, &Value::from_u64(0));
+    }
+    cluster.install_scripted_client(0, script());
+    cluster.sim.run_for(SimDuration::from_millis(500));
+    let sim_client = cluster.scripted_client(0).expect("host 0 has the script");
+    assert!(sim_client.is_done(), "simulated script did not finish");
+    assert_eq!(sim_client.agent_stats().version_regressions, 0);
+    let sim_results = sim_client.results();
+
+    // ---- Socket-dataplane execution ----
+    // Same ring, same pipeline, keyspace split over two shard workers; every
+    // query and reply crosses a real UDP socket.
+    let ring = cluster.ring().clone();
+    let populate: Vec<(Key, Value)> = populated_keys()
+        .into_iter()
+        .map(|k| (k, Value::from_u64(0)))
+        .collect();
+    let plane = NetDataplane::start(NetConfig::new(ring.clone(), 2, pipeline), &populate)
+        .expect("start dataplane");
+
+    // Same client logic: an AgentCore configured exactly like the simulated
+    // host 0 (so request ids line up), driven sequentially over a socket.
+    let socket = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+    socket
+        .set_read_timeout(Some(Duration::from_millis(10)))
+        .expect("timeout");
+    let agent_config = cluster.agent_config(0);
+    plane.register_client(agent_config.client_ip, socket.local_addr().expect("addr"));
+    let mut agent = AgentCore::new(agent_config, cluster.directory());
+    let epoch = Instant::now();
+    let net_results: Vec<CompletedQuery> = script()
+        .into_iter()
+        .map(|op| execute(&socket, &mut agent, &plane, epoch, op))
+        .collect();
+    assert_eq!(agent.stats().version_regressions, 0);
+    let report = plane.shutdown();
+
+    // ---- Reply-level comparison ----
+    assert_eq!(sim_results.len(), net_results.len());
+    for (i, (sim, net)) in sim_results.iter().zip(&net_results).enumerate() {
+        assert_eq!(sim.op, net.op, "op {i}: scripts diverged");
+        assert_eq!(sim.request_id, net.request_id, "op {i}: request id");
+        assert_eq!(sim.status, net.status, "op {i} ({:?}): status", sim.op);
+        assert_eq!(sim.value, net.value, "op {i} ({:?}): value", sim.op);
+        assert_eq!(sim.seq, net.seq, "op {i} ({:?}): version", sim.op);
+    }
+
+    // ---- KV-state comparison ----
+    // A dataplane switch's state is the union over shard workers (shards
+    // partition the keyspace, so the union is disjoint); it must equal the
+    // simulated switch's state entry for entry — including tombstones.
+    let switch_ips: Vec<Ipv4Addr> = ring.switches().to_vec();
+    for (idx, &ip) in switch_ips.iter().enumerate() {
+        let sim_state = kv_snapshot(cluster.switch(idx).switch().kv().export_entries());
+        let net_state = kv_snapshot(report.shards.iter().flat_map(|s| {
+            s.switch(ip)
+                .expect("every shard hosts every ring switch")
+                .kv()
+                .export_entries()
+        }));
+        assert_eq!(
+            sim_state, net_state,
+            "switch {idx} diverged between simulator and socket dataplane"
+        );
+    }
+}

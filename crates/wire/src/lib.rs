@@ -37,6 +37,7 @@ pub mod ethernet;
 pub mod ipv4;
 pub mod netchain;
 pub mod packet;
+pub mod pool;
 pub mod udp;
 pub mod view;
 
@@ -48,6 +49,7 @@ pub use netchain::{
     MAX_CHAIN_LEN, MAX_VALUE_LEN, NETCHAIN_FIXED_HEADER_LEN, NETCHAIN_UDP_PORT,
 };
 pub use packet::NetChainPacket;
+pub use pool::{PacketPool, MAX_FRAME_LEN};
 pub use udp::{UdpHeader, UDP_HEADER_LEN};
 pub use view::{
     validate_batch, validate_frame, BatchEncoder, BatchView, NetChainView, PacketView, ParsedBatch,

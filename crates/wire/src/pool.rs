@@ -1,0 +1,162 @@
+//! Buffer-pool parse entry points: the frame-size bound every I/O buffer is
+//! sized from, and a recycling pool of owned packets for the parse paths
+//! that must materialise one.
+//!
+//! Both existed in spirit before — `MAX_FRAME_LEN` lived in the fabric's
+//! frame module and the recycling idiom was open-coded inside the shard —
+//! but the socket dataplane needs them too, and they are properties of the
+//! *wire format*, not of any one transport. Hoisting them here gives every
+//! packet mover (fabric rings, UDP sockets, the simulator's links) the same
+//! authoritative bound and the same allocation-free parse path.
+
+use crate::ethernet::ETHERNET_HEADER_LEN;
+use crate::ipv4::IPV4_HEADER_LEN;
+use crate::netchain::{MAX_CHAIN_LEN, MAX_VALUE_LEN, NETCHAIN_FIXED_HEADER_LEN};
+use crate::packet::NetChainPacket;
+use crate::udp::UDP_HEADER_LEN;
+use crate::view::PacketView;
+
+/// Maximum serialized size of a NetChain packet: Ethernet + IPv4 + UDP + the
+/// fixed header + a full 16-hop chain + a maximum 128-byte value (273 bytes).
+/// Any receive buffer of this size cannot truncate a legal frame; anything
+/// longer on the wire is by definition not a NetChain packet.
+pub const MAX_FRAME_LEN: usize = ETHERNET_HEADER_LEN
+    + IPV4_HEADER_LEN
+    + UDP_HEADER_LEN
+    + NETCHAIN_FIXED_HEADER_LEN
+    + MAX_CHAIN_LEN * 4
+    + MAX_VALUE_LEN;
+
+/// A bounded pool of retired [`NetChainPacket`]s whose heap allocations (the
+/// chain list and value vectors) are refilled in place by the next parse.
+///
+/// [`PacketPool::take`] converts a [`PacketView`] into an owned packet,
+/// reusing a retired packet's buffers when one is available
+/// ([`PacketView::to_owned_into`]); [`PacketPool::put`] retires a packet back
+/// into the pool, silently dropping it once the pool is full. In steady state
+/// a parse-execute-retire loop allocates nothing — not even for writes.
+#[derive(Debug)]
+pub struct PacketPool {
+    pool: Vec<NetChainPacket>,
+    max: usize,
+}
+
+impl PacketPool {
+    /// Default retention bound: a burst in flight needs at most the burst
+    /// width of packets plus the replies being encoded, so this is generous.
+    pub const DEFAULT_MAX: usize = 256;
+
+    /// A pool retaining up to [`Self::DEFAULT_MAX`] retired packets.
+    pub fn new() -> Self {
+        Self::with_max(Self::DEFAULT_MAX)
+    }
+
+    /// A pool retaining up to `max` retired packets.
+    pub fn with_max(max: usize) -> Self {
+        PacketPool {
+            pool: Vec::new(),
+            max,
+        }
+    }
+
+    /// Materialises `view` as an owned packet, recycling a retired packet's
+    /// allocations when one is pooled.
+    pub fn take(&mut self, view: &PacketView<'_>) -> NetChainPacket {
+        match self.pool.pop() {
+            Some(mut recycled) => {
+                view.to_owned_into(&mut recycled);
+                recycled
+            }
+            None => view.to_owned(),
+        }
+    }
+
+    /// Retires `pkt` for reuse; dropped if the pool is already full.
+    pub fn put(&mut self, pkt: NetChainPacket) {
+        if self.pool.len() < self.max {
+            self.pool.push(pkt);
+        }
+    }
+
+    /// Retired packets currently held.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// True if no retired packets are held.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+}
+
+impl Default for PacketPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::Ipv4Addr;
+    use crate::netchain::{ChainList, Key, OpCode, Value};
+
+    fn sample(value_len: usize, request_id: u64) -> NetChainPacket {
+        NetChainPacket::query(
+            Ipv4Addr::for_host(1),
+            40_000,
+            Ipv4Addr::for_switch(0),
+            OpCode::Write,
+            Key::from_u64(request_id),
+            Value::filled(0x5a, value_len).unwrap(),
+            ChainList::new(vec![Ipv4Addr::for_switch(1)]).unwrap(),
+            request_id,
+        )
+    }
+
+    #[test]
+    fn max_frame_len_is_the_largest_wire_size() {
+        let pkt = NetChainPacket::query(
+            Ipv4Addr::for_host(1),
+            40_000,
+            Ipv4Addr::for_switch(0),
+            OpCode::Write,
+            Key::from_u64(9),
+            Value::filled(0xaa, MAX_VALUE_LEN).unwrap(),
+            ChainList::new(
+                (0..MAX_CHAIN_LEN as u32)
+                    .map(Ipv4Addr::for_switch)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+            1,
+        );
+        assert_eq!(pkt.wire_size(), MAX_FRAME_LEN);
+    }
+
+    #[test]
+    fn take_recycles_and_matches_to_owned() {
+        let mut pool = PacketPool::with_max(4);
+        let a = sample(64, 1).to_bytes();
+        let b = sample(8, 2).to_bytes();
+        let view_a = PacketView::parse(&a).unwrap();
+        let view_b = PacketView::parse(&b).unwrap();
+        let pkt_a = pool.take(&view_a);
+        assert_eq!(pkt_a, view_a.to_owned());
+        pool.put(pkt_a);
+        assert_eq!(pool.len(), 1);
+        // The recycled buffers must not leak the previous packet's contents.
+        let pkt_b = pool.take(&view_b);
+        assert!(pool.is_empty());
+        assert_eq!(pkt_b, view_b.to_owned());
+    }
+
+    #[test]
+    fn put_beyond_max_drops() {
+        let mut pool = PacketPool::with_max(2);
+        for i in 0..5 {
+            pool.put(sample(0, i));
+        }
+        assert_eq!(pool.len(), 2);
+    }
+}

@@ -1,0 +1,8 @@
+//! Workspace-root alias for the net-mode scale experiment, so
+//! `cargo run --release --bin net_scale` works without `-p`.
+//! See `crates/experiments/src/net_scale.rs`.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    netchain_experiments::net_scale::run_cli(smoke);
+}
