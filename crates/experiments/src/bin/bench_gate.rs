@@ -1,0 +1,7 @@
+//! CI perf gate: fresh BENCH_net.json / BENCH_fabric.json vs the committed
+//! baseline. See `crates/experiments/src/bench_gate.rs`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(netchain_experiments::bench_gate::run_cli(&args));
+}

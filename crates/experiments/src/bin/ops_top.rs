@@ -1,0 +1,7 @@
+//! Live text dashboard over the net or fabric dataplane.
+//! See `crates/experiments/src/ops_top.rs`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    netchain_experiments::ops_top::run_cli(&args);
+}

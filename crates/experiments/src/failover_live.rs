@@ -15,7 +15,7 @@
 use crate::series::Series;
 use netchain_fabric::{FabricConfig, WorkloadSpec};
 use netchain_livectl::{run_live_controlled, FaultScript, LiveConfig, LiveReport};
-use netchain_telemetry::{ArtifactWriter, Json, Quantiles, TraceConfig};
+use netchain_telemetry::{ArtifactWriter, FlightRecorder, Json, Quantiles, TraceConfig};
 use netchain_wire::Ipv4Addr;
 use std::time::Duration;
 
@@ -254,6 +254,40 @@ fn export_run(
     );
 }
 
+/// Checks one smoke/structural invariant; on violation, dumps a flight
+/// record of the offending run (control-plane journal, gray-failure journal,
+/// throughput slices, anomalies) to the artifact dir before panicking, so a
+/// failed CI smoke leaves its evidence behind instead of just a backtrace.
+fn check_or_dump(ok: bool, msg: &str, groups: u32, report: &LiveReport) {
+    if ok {
+        return;
+    }
+    let recorder = FlightRecorder::new(1024);
+    if let Some(timeline) = &report.timeline {
+        recorder.record_journal(&timeline.journal());
+    }
+    recorder.record_journal(&report.ops_journal);
+    let slice_ns = report.slice.as_nanos() as u64;
+    for (i, &n) in report.slices.iter().enumerate() {
+        recorder.record(i as u64 * slice_ns, "slice", vec![("ops", Json::U64(n))]);
+    }
+    for anomaly in &report.anomalies {
+        recorder.record(
+            anomaly.slice * slice_ns,
+            "anomaly",
+            vec![("detail", Json::str(anomaly.describe()))],
+        );
+    }
+    recorder.record_trace_summary(report.elapsed.as_nanos() as u64, &report.trace_summary());
+    if let Some(path) = recorder.dump(&format!("failover_live_{groups}")) {
+        eprintln!(
+            "failover_live: failure evidence dumped to {}",
+            path.display()
+        );
+    }
+    panic!("{msg}");
+}
+
 /// The `failover_live` command-line entry point: runs the coarse and fine
 /// granularity settings, prints the series and summaries, and asserts the
 /// Figure 10 structural claim. Shared by the `netchain-experiments` binary
@@ -269,6 +303,7 @@ pub fn run_cli(smoke: bool) {
 
     let mut artifact = ArtifactWriter::new("failover_live");
     let mut summaries = Vec::new();
+    let mut reports = Vec::new();
     for &groups in group_settings {
         let (series, summary, report) = failover_live(params, groups);
         print_series(
@@ -304,13 +339,21 @@ pub fn run_cli(smoke: bool) {
                 netchain_telemetry::path_to_string(path),
             );
         }
-        assert_eq!(summary.abandoned, 0, "every op must survive the failure");
-        assert_eq!(
-            summary.version_regressions, 0,
-            "replies must never travel backwards in chain version"
+        check_or_dump(
+            summary.abandoned == 0,
+            "every op must survive the failure",
+            groups,
+            &report,
+        );
+        check_or_dump(
+            summary.version_regressions == 0,
+            "replies must never travel backwards in chain version",
+            groups,
+            &report,
         );
         export_run(&mut artifact, groups, &summary, &report);
         summaries.push(summary);
+        reports.push(report);
     }
     if let Some(path) = artifact.write() {
         println!("artifact: {}", path.display());
@@ -325,9 +368,11 @@ pub fn run_cli(smoke: bool) {
         fine.groups,
         fine.blocked_fraction * 100.0,
     );
-    assert!(
+    check_or_dump(
         fine.blocked_fraction < coarse.blocked_fraction,
-        "fine-grained repair must block a strictly smaller throughput fraction"
+        "fine-grained repair must block a strictly smaller throughput fraction",
+        fine.groups,
+        reports.last().expect("at least one run"),
     );
 }
 

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_gate;
 pub mod calib;
 pub mod capacity;
 pub mod fabric_scale;
@@ -40,6 +41,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig9;
 pub mod net_scale;
+pub mod ops_top;
 pub mod series;
 pub mod table1;
 pub mod telemetry_overhead;

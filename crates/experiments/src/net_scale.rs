@@ -113,6 +113,9 @@ fn sum_io(stats: &[IoStats]) -> IoStats {
         total.shim_duplicated += s.shim_duplicated;
         total.unrouted_replies += s.unrouted_replies;
         total.send_errors += s.send_errors;
+        for (t, &f) in total.recv_fill.iter_mut().zip(&s.recv_fill) {
+            *t += f;
+        }
     }
     total
 }
@@ -209,7 +212,27 @@ fn run_json(run: &ModeRun) -> Json {
         ("datagrams_in", Json::U64(run.io.datagrams_in)),
         ("datagrams_out", Json::U64(run.io.datagrams_out)),
         ("batch_factor", Json::F64(run.batch_factor)),
+        (
+            "recv_fill",
+            Json::Arr(run.io.recv_fill.iter().map(|&c| Json::U64(c)).collect()),
+        ),
     ])
+}
+
+/// Renders the recv-batch-occupancy histogram as per-bucket percentages of
+/// all recv calls, e.g. `≤1:82% ≤2:9% ≤4:5% ...` (empty buckets omitted).
+fn fill_summary(io: &IoStats) -> String {
+    let total: u64 = io.recv_fill.iter().sum();
+    if total == 0 {
+        return "n/a".to_string();
+    }
+    netchain_net::RECV_FILL_BOUNDS
+        .iter()
+        .zip(&io.recv_fill)
+        .filter(|(_, &c)| c > 0)
+        .map(|(b, &c)| format!("≤{b}:{:.0}%", 100.0 * c as f64 / total as f64))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// Runs the full net-scale measurement (both I/O modes, latency and
@@ -255,6 +278,13 @@ pub fn run_cli(smoke: bool) {
         "Capacity: batched {:.0} ops/s vs single-packet {:.0} ops/s ({speedup:.2}x); \
          burst batch factor at capacity {:.1} datagrams/recv call",
         burst_capacity, single_capacity, burst_runs[burst_best].batch_factor,
+    );
+    // The batch-fill distribution explains the speedup (or its absence): a
+    // recvmmsg that mostly returns 1–2 datagrams pays its extra setup cost
+    // without amortising anything.
+    println!(
+        "Burst recv fill at capacity: {}",
+        fill_summary(&burst_runs[burst_best].io),
     );
 
     // The controlled syscall comparison: one thread, one socket pair, the

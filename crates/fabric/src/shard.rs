@@ -59,8 +59,8 @@ use crate::stats::ShardStats;
 use netchain_core::HashRing;
 use netchain_switch::kv::ExportedEntry;
 use netchain_switch::{
-    stable_hash_batch, DropReason, FailoverRule, NetChainSwitch, PipelineConfig, RuleScope,
-    StagedOutcome, StagedPacket, SwitchAction,
+    stable_hash_batch, DropReason, FailoverRule, NetChainSwitch, PipelineConfig, ProbeGauges,
+    RuleScope, StagedOutcome, StagedPacket, SwitchAction,
 };
 use netchain_telemetry::{trace_id, PacketTrace, TraceConfig, TraceSink};
 use netchain_wire::{
@@ -187,6 +187,17 @@ impl Shard {
             .as_mut()
             .map(|t| t.sink.drain())
             .unwrap_or_default()
+    }
+
+    /// Publishes executor-level gauges — ingress queue depth/capacity and
+    /// coarse cumulative latency buckets — to every switch replica, so an
+    /// in-band `Stat` probe answered by any of them reports the shard's
+    /// current view. Executors call this at burst boundaries, never per
+    /// packet, which is what keeps probe support off the hot path.
+    pub fn set_probe_gauges(&mut self, gauges: ProbeGauges) {
+        for switch in self.switches.values_mut() {
+            switch.set_probe_gauges(gauges);
+        }
     }
 
     /// This shard's index.
@@ -826,10 +837,10 @@ mod tests {
         }
         let missing = Key::from_name("not/populated");
         // A mix crossing one chunk boundary: fast-lane reads (hits and index
-        // misses), chain writes, malformed frames, and a valid frame on a
-        // non-NetChain port.
-        let frames: Vec<Vec<u8>> = (0..40u64)
-            .map(|i| match i % 5 {
+        // misses), chain writes, in-band stat probes, malformed frames, and a
+        // valid frame on a non-NetChain port.
+        let frames: Vec<Vec<u8>> = (0..48u64)
+            .map(|i| match i % 6 {
                 0 => query_frame(
                     &ring,
                     keys[(i % 6) as usize],
@@ -850,7 +861,18 @@ mod tests {
                     f[24] ^= 0xff; // corrupt the IP checksum
                     f
                 }
-                _ => off_port(query_frame(&ring, keys[1], OpCode::Read, Value::empty(), i)),
+                4 => off_port(query_frame(&ring, keys[1], OpCode::Read, Value::empty(), i)),
+                _ => {
+                    let mut f = query_frame(
+                        &ring,
+                        keys[(i % 6) as usize],
+                        OpCode::Read,
+                        Value::empty(),
+                        i,
+                    );
+                    f[42] = OpCode::Stat.to_u8(); // in-band probe
+                    f
+                }
             })
             .collect();
         let mut staged_replies = BatchEncoder::new();
@@ -925,6 +947,36 @@ mod tests {
         shard.process_burst(std::iter::once(read.as_slice()), &mut replies);
         let read_reply = PacketView::parse(replies.frame(0)).unwrap();
         assert_eq!(read_reply.netchain.value(), 31u64.to_be_bytes());
+    }
+
+    #[test]
+    fn stat_probe_is_answered_in_burst_with_published_gauges() {
+        use netchain_switch::ProbeGauges;
+        use netchain_wire::StatSnapshot;
+        let ring = test_ring();
+        let mut shard = Shard::new(0, 1, ring.clone(), PipelineConfig::tiny(64));
+        let key = Key::from_name("probed");
+        shard.populate(key, &Value::from_u64(1));
+        shard.set_probe_gauges(ProbeGauges {
+            queue_depth: 5,
+            queue_cap: 512,
+            lat_buckets: [0, 1, 2, 3, 4, 5, 6, 7],
+        });
+        let mut probe = query_frame(&ring, key, OpCode::Read, Value::empty(), 7);
+        probe[42] = OpCode::Stat.to_u8();
+        let mut replies = BatchEncoder::new();
+        shard.process_burst(std::iter::once(probe.as_slice()), &mut replies);
+        assert_eq!(replies.len(), 1);
+        let reply = PacketView::parse(replies.frame(0)).unwrap();
+        assert_eq!(reply.netchain.op(), OpCode::StatReply);
+        assert_eq!(reply.netchain.status(), QueryStatus::Ok);
+        let snap = StatSnapshot::decode(reply.netchain.value()).unwrap();
+        assert_eq!(snap.queue_depth, 5);
+        assert_eq!(snap.queue_cap, 512);
+        assert_eq!(snap.lat_buckets[3], 3);
+        assert_eq!(snap.packets_seen, 1);
+        assert_eq!(snap.store_size, 1);
+        assert_eq!(shard.stats().replies, 1);
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   controller paces detection, failover and repair.
 //! * [`runner`] — [`run_live_controlled`]: the threaded deployment shape
 //!   (shards + retrying duration-driven clients + controller), producing a
-//!   time-sliced [`LiveReport`].
+//!   time-sliced [`LiveReport`]. A monitor thread watches per-shard rolling
+//!   windows while the run is live.
+//! * [`detector`] — the gray-failure detector: peer-median comparison over
+//!   the rolling windows, flagging a shard that is slow but alive.
 //! * [`replay`] — the same fabric and the same control commands driven
 //!   deterministically on one thread, for the simulator differential test
 //!   and the chain-repair property test.
@@ -32,13 +35,15 @@
 #![warn(missing_docs)]
 
 pub mod control;
+pub mod detector;
 pub mod replay;
 pub mod report;
 pub mod runner;
 pub mod script;
 
 pub use control::{apply as apply_control, ControlCmd, ControlEvt};
+pub use detector::{Anomaly, DetectorConfig, GrayFailureDetector};
 pub use replay::{replay_agent_config, ReplayFabric};
 pub use report::{FailoverTimeline, LiveReport};
-pub use runner::{run_live_controlled, LiveConfig};
+pub use runner::{run_live_controlled, run_live_observed, LiveConfig};
 pub use script::FaultScript;

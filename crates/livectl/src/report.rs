@@ -1,6 +1,7 @@
 //! Reports for live-controlled runs: the time-sliced throughput series and
 //! the controller's phase timeline.
 
+use crate::detector::Anomaly;
 use netchain_fabric::{ClientReport, ShardStats};
 use netchain_telemetry::{HistSnapshot, Journal, PacketTrace, TraceSummary};
 use std::time::Duration;
@@ -81,6 +82,11 @@ pub struct LiveReport {
     pub traces: Vec<PacketTrace>,
     /// The controller's phase timeline (present when a fault script ran).
     pub timeline: Option<FailoverTimeline>,
+    /// Gray failures the live monitor flagged (empty in a healthy run; each
+    /// one also produced a flight-recorder dump in the artifact dir).
+    pub anomalies: Vec<Anomaly>,
+    /// The monitor's journal: one instant per flagged anomaly.
+    pub ops_journal: Journal,
 }
 
 impl LiveReport {

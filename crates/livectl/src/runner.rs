@@ -18,6 +18,7 @@
 //!   while untouched groups keep serving.
 
 use crate::control::{self, ControlCmd, ControlEvt};
+use crate::detector::{Anomaly, DetectorConfig, GrayFailureDetector};
 use crate::report::{FailoverTimeline, LiveReport};
 use crate::script::FaultScript;
 use netchain_core::failplan::{self, FailoverPlan, RecoveryPlan};
@@ -26,7 +27,10 @@ use netchain_fabric::{
     build_shards, spsc_ring, ClientState, Consumer, FabricConfig, Frame, Producer, WorkloadSpec,
 };
 use netchain_sim::{SimDuration, SimTime};
-use netchain_telemetry::{merge_traces, HistSnapshot, TimeSeries};
+use netchain_telemetry::{
+    merge_traces, FlightRecorder, HistSnapshot, Journal, Json, TimeSeries, WindowChannel,
+    WindowRegistry,
+};
 use netchain_wire::{BatchEncoder, Ipv4Addr};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -39,6 +43,13 @@ const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
 /// Capacity of each control ring, in commands/events.
 const CONTROL_RING: usize = 64;
+
+/// Slices retained by the default observation windows — enough history to
+/// cover any plausible gray-failure streak plus the flight-recorder dump.
+const OBSERVE_SLICES: usize = 64;
+
+/// Events the monitor's flight recorder retains.
+const FLIGHT_CAPACITY: usize = 256;
 
 /// Configuration of a live-controlled run.
 #[derive(Debug, Clone, Copy)]
@@ -264,8 +275,27 @@ impl LiveController {
 /// Runs the fabric live under control: threads, rings, retrying clients,
 /// time-sliced throughput accounting, and (optionally) a scripted failure
 /// handled by the live controller. Returns after the run drains.
+///
+/// Observation windows are created internally, sized from `config.slice`;
+/// use [`run_live_observed`] to share a [`WindowRegistry`] with an external
+/// reader (a dashboard polling the same windows the detector judges).
 pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
+    let windows = WindowRegistry::new(config.fabric.num_shards, OBSERVE_SLICES, config.slice);
+    run_live_observed(config, windows)
+}
+
+/// [`run_live_controlled`] with caller-supplied observation windows: every
+/// shard worker records its per-slice ops / blocked / queue depth into
+/// `windows`, and a monitor thread runs the [`GrayFailureDetector`] over
+/// each completed slice, journaling anomalies and dumping the flight
+/// recorder to the artifact dir when one fires.
+pub fn run_live_observed(config: LiveConfig, windows: WindowRegistry) -> LiveReport {
     let fabric = config.fabric;
+    assert_eq!(
+        windows.num_shards(),
+        fabric.num_shards,
+        "one observation window per shard"
+    );
     assert!(fabric.num_shards > 0 && fabric.num_clients > 0);
     assert!(
         fabric.ring_capacity >= config.workload.window,
@@ -350,6 +380,8 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
         let burst = fabric.burst;
         let num_clients = fabric.num_clients;
         let pin = fabric.pin_shards;
+        let window = Arc::clone(windows.window(s));
+        let slice_nanos = windows.slice_len().as_nanos().max(1) as u64;
         let handle = std::thread::Builder::new()
             .name(format!("livectl-shard-{s}"))
             .spawn(move || {
@@ -360,6 +392,7 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
                 }
                 let mut frames: Vec<Frame> = Vec::with_capacity(burst);
                 let mut replies = BatchEncoder::with_capacity(burst, 128);
+                let mut last_blocked = 0u64;
                 loop {
                     // Control plane first: commands take effect at burst
                     // boundaries, like table updates between pipeline passes.
@@ -376,14 +409,19 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
                         }
                     }
                     let mut any = false;
+                    let mut slice_ops = 0u64;
+                    let mut peak_depth = 0u64;
                     for c in 0..num_clients {
                         frames.clear();
-                        if ingress[c].pop_batch(&mut frames, burst) == 0 {
+                        let got = ingress[c].pop_batch(&mut frames, burst);
+                        if got == 0 {
                             continue;
                         }
                         any = true;
+                        peak_depth = peak_depth.max(got as u64);
                         replies.clear();
                         shard.process_burst(frames.iter().map(|f| f.as_bytes()), &mut replies);
+                        slice_ops += replies.len() as u64;
                         for frame in replies.frames() {
                             let mut item =
                                 Some(Frame::from_bytes(frame).expect("replies fit in a frame"));
@@ -404,7 +442,19 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
                             }
                         }
                     }
-                    if !any {
+                    if any {
+                        // Rolling-window accounting, once per busy burst
+                        // round: additions on a hot slot, nothing the
+                        // detector does can block this thread.
+                        let slice = t0.elapsed().as_nanos() as u64 / slice_nanos;
+                        window.add(slice, WindowChannel::Ops, slice_ops);
+                        window.raise(slice, WindowChannel::QueueDepth, peak_depth);
+                        let blocked = shard.stats().blocked;
+                        if blocked > last_blocked {
+                            window.add(slice, WindowChannel::Blocked, blocked - last_blocked);
+                            last_blocked = blocked;
+                        }
+                    } else {
                         if done.load(Ordering::Acquire) == num_clients
                             && ctl_done.load(Ordering::Acquire)
                             && ingress.iter_mut().all(|r| r.is_empty_now())
@@ -520,6 +570,77 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
         client_handles.push(handle);
     }
 
+    // The monitor: judges each completed window slice with the gray-failure
+    // detector while the run is live. It only reads atomics the shard
+    // workers publish, so it never perturbs the dataplane; on an anomaly it
+    // journals the event and dumps its flight recorder to the artifact dir.
+    let monitor_stop = Arc::new(AtomicBool::new(false));
+    let monitor = {
+        let windows = windows.clone();
+        let stop = Arc::clone(&monitor_stop);
+        let num_shards = fabric.num_shards;
+        let slice_nanos = windows.slice_len().as_nanos().max(1) as u64;
+        let nap = (windows.slice_len() / 2).max(Duration::from_micros(500));
+        std::thread::Builder::new()
+            .name("livectl-monitor".to_string())
+            .spawn(move || {
+                let mut detector = GrayFailureDetector::new(num_shards, DetectorConfig::default());
+                let mut journal = Journal::new();
+                let recorder = FlightRecorder::new(FLIGHT_CAPACITY);
+                let mut anomalies: Vec<Anomaly> = Vec::new();
+                let mut next = 0u64;
+                loop {
+                    let stopping = stop.load(Ordering::Acquire);
+                    // Judge slices strictly before the current one — the
+                    // current slice is still filling and would read as a
+                    // universal dip. On shutdown, judge the last one too.
+                    let current = windows.slice_of(t0.elapsed());
+                    let upto = if stopping { current + 1 } else { current };
+                    while next < upto {
+                        let slice = next;
+                        next += 1;
+                        let across = windows.slice_across_shards(slice);
+                        let at_ns = slice * slice_nanos;
+                        recorder.record(
+                            at_ns,
+                            "slice",
+                            vec![(
+                                "ops",
+                                Json::Arr(
+                                    across
+                                        .iter()
+                                        .map(|c| Json::U64(c[WindowChannel::Ops as usize]))
+                                        .collect(),
+                                ),
+                            )],
+                        );
+                        for anomaly in detector.observe_slice(slice, &across) {
+                            journal.instant(format!("gray-failure:shard{}", anomaly.shard), at_ns);
+                            recorder.record(
+                                at_ns,
+                                "anomaly",
+                                vec![("detail", Json::str(anomaly.describe()))],
+                            );
+                            if let Some(path) = recorder.dump("livectl_gray") {
+                                eprintln!(
+                                    "livectl: {} — flight dump at {}",
+                                    anomaly.describe(),
+                                    path.display()
+                                );
+                            }
+                            anomalies.push(anomaly);
+                        }
+                    }
+                    if stopping {
+                        break;
+                    }
+                    std::thread::sleep(nap);
+                }
+                (journal, anomalies)
+            })
+            .expect("spawn monitor thread")
+    };
+
     // The controller runs on this thread (it sleeps most of the time).
     let timeline = config.script.as_ref().map(|script| {
         let mut controller = LiveController {
@@ -553,6 +674,10 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
         shard_stats[id] = stats;
         trace_fragments.extend(traces);
     }
+    // All window writers have exited; let the monitor judge the final slice
+    // and hand back its journal.
+    monitor_stop.store(true, Ordering::Release);
+    let (ops_journal, anomalies) = monitor.join().expect("monitor thread panicked");
     let completed_ops: u64 = clients.iter().map(|c| c.completed).sum();
     LiveReport {
         elapsed,
@@ -565,5 +690,7 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
         latency,
         traces: merge_traces(trace_fragments),
         timeline,
+        anomalies,
+        ops_journal,
     }
 }

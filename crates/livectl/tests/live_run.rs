@@ -3,7 +3,8 @@
 //! retry path, and the slice accounting all real.
 
 use netchain_fabric::{FabricConfig, WorkloadSpec};
-use netchain_livectl::{run_live_controlled, FaultScript, LiveConfig};
+use netchain_livectl::{run_live_controlled, run_live_observed, FaultScript, LiveConfig};
+use netchain_telemetry::{WindowChannel, WindowRegistry};
 use netchain_wire::Ipv4Addr;
 use std::time::Duration;
 
@@ -47,6 +48,39 @@ fn live_run_without_faults_completes_cleanly() {
     assert!(report.latency.quantiles().p999_ns >= report.latency.quantiles().p50_ns);
     // Tracing was off, so no trace fragments were produced.
     assert!(report.traces.is_empty());
+    // A healthy symmetric run never trips the gray-failure monitor.
+    assert!(report.anomalies.is_empty(), "{:?}", report.anomalies);
+    assert!(report.ops_journal.instants().is_empty());
+}
+
+#[test]
+fn observed_run_fills_the_shared_windows() {
+    let mut config = LiveConfig::new(
+        small_fabric(),
+        WorkloadSpec::mixed(128, 0, 60, 30),
+        Duration::from_millis(300),
+    );
+    config.retry_timeout = Duration::from_millis(200);
+    let windows = WindowRegistry::new(2, 64, config.slice);
+    let report = run_live_observed(config, windows.clone());
+    assert!(report.completed_ops > 0);
+    assert!(report.anomalies.is_empty());
+    // Every reply a shard produced was recorded into its rolling window
+    // (the run is far shorter than the 64-slice retention, so nothing has
+    // rotated out).
+    let mut window_ops = 0u64;
+    let mut peak_depth = 0u64;
+    for shard in 0..2 {
+        for slice in 0..64 {
+            if let Some(c) = windows.window(shard).read(slice) {
+                window_ops += c[WindowChannel::Ops as usize];
+                peak_depth = peak_depth.max(c[WindowChannel::QueueDepth as usize]);
+            }
+        }
+    }
+    let shard_replies: u64 = report.shards.iter().map(|s| s.replies).sum();
+    assert_eq!(window_ops, shard_replies);
+    assert!(peak_depth > 0, "busy bursts must record a queue depth");
 }
 
 #[test]
@@ -131,4 +165,7 @@ fn scripted_failure_fails_over_and_repairs_live() {
             .count(),
         8
     );
+    // A scripted fail-stop is not a gray failure: the dip is global (every
+    // shard blocks/retries together), so the peer-median detector is silent.
+    assert!(report.anomalies.is_empty(), "{:?}", report.anomalies);
 }

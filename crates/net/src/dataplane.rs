@@ -29,8 +29,8 @@
 use mmsg::{RecvQueue, SendQueue, MAX_BURST};
 use netchain_core::HashRing;
 use netchain_fabric::{shard_of_key, Shard};
-use netchain_switch::PipelineConfig;
-use netchain_telemetry::Metrics;
+use netchain_switch::{PipelineConfig, ProbeGauges};
+use netchain_telemetry::{merge_traces, Metrics, PacketTrace, TraceConfig};
 use netchain_wire::{BatchEncoder, Ipv4Addr, Key, Value, MAX_FRAME_LEN};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -99,6 +99,12 @@ pub struct NetConfig {
     pub read_timeout: Duration,
     /// Injected adversity (tests only).
     pub fault: FaultSpec,
+    /// In-band per-hop tracing on the worker shards. `None` (the default)
+    /// keeps the hot path exactly as before; when set, every worker stamps
+    /// sampled packets against a wall-clock origin taken at
+    /// [`NetDataplane::start`] and the merged traces come back in
+    /// [`NetReport::traces`].
+    pub trace: Option<TraceConfig>,
 }
 
 impl NetConfig {
@@ -112,8 +118,25 @@ impl NetConfig {
             burst: 32,
             read_timeout: Duration::from_millis(5),
             fault: FaultSpec::none(),
+            trace: None,
         }
     }
+}
+
+/// Number of buckets in [`IoStats::recv_fill`].
+pub const RECV_FILL_BUCKETS: usize = 7;
+
+/// Upper bounds (inclusive) of the [`IoStats::recv_fill`] buckets: recv
+/// calls returning 1, 2, ≤4, ≤8, ≤16, ≤32 and ≤64 datagrams.
+pub const RECV_FILL_BOUNDS: [usize; RECV_FILL_BUCKETS] = [1, 2, 4, 8, 16, 32, MAX_BURST];
+
+/// The [`IoStats::recv_fill`] bucket a recv call returning `n` datagrams
+/// lands in.
+fn recv_fill_bucket(n: usize) -> usize {
+    RECV_FILL_BOUNDS
+        .iter()
+        .position(|&b| n <= b)
+        .unwrap_or(RECV_FILL_BUCKETS - 1)
 }
 
 /// Per-worker syscall-layer counters (the shard's own [`netchain_fabric::ShardStats`]
@@ -136,10 +159,27 @@ pub struct IoStats {
     pub unrouted_replies: u64,
     /// Send calls that failed (their queued frames were discarded).
     pub send_errors: u64,
+    /// Recv-batch-occupancy histogram: how many recv calls returned 1, 2,
+    /// ≤4, ≤8, ≤16, ≤32 and ≤64 datagrams ([`RECV_FILL_BOUNDS`]). This is
+    /// the denominator of the burst-vs-single question: `recvmmsg` only
+    /// amortises its syscall when the socket queue actually holds a batch,
+    /// and at moderate offered loads most calls return one or two datagrams.
+    pub recv_fill: [u64; RECV_FILL_BUCKETS],
+}
+
+impl IoStats {
+    /// Mean datagrams returned per successful recv call.
+    pub fn batch_factor(&self) -> f64 {
+        if self.recv_calls == 0 {
+            0.0
+        } else {
+            self.datagrams_in as f64 / self.recv_calls as f64
+        }
+    }
 }
 
 /// Counter names for [`IoStats`]'s [`Metrics`] implementation.
-pub const IO_METRICS: [&str; 8] = [
+pub const IO_METRICS: [&str; 8 + RECV_FILL_BUCKETS] = [
     "recv_calls",
     "datagrams_in",
     "datagrams_out",
@@ -148,6 +188,13 @@ pub const IO_METRICS: [&str; 8] = [
     "shim_duplicated",
     "unrouted_replies",
     "send_errors",
+    "recv_fill_le_1",
+    "recv_fill_le_2",
+    "recv_fill_le_4",
+    "recv_fill_le_8",
+    "recv_fill_le_16",
+    "recv_fill_le_32",
+    "recv_fill_le_64",
 ];
 
 impl Metrics for IoStats {
@@ -156,7 +203,7 @@ impl Metrics for IoStats {
     }
 
     fn metric_values(&self) -> Vec<u64> {
-        vec![
+        let mut v = vec![
             self.recv_calls,
             self.datagrams_in,
             self.datagrams_out,
@@ -165,7 +212,9 @@ impl Metrics for IoStats {
             self.shim_duplicated,
             self.unrouted_replies,
             self.send_errors,
-        ]
+        ];
+        v.extend_from_slice(&self.recv_fill);
+        v
     }
 }
 
@@ -177,6 +226,9 @@ pub struct NetReport {
     pub shards: Vec<Shard>,
     /// Per-worker syscall-layer counters, index-aligned with the shards.
     pub io: Vec<IoStats>,
+    /// Merged per-hop traces from every worker (empty unless
+    /// [`NetConfig::trace`] was set).
+    pub traces: Vec<PacketTrace>,
 }
 
 struct Worker {
@@ -204,11 +256,17 @@ impl NetDataplane {
             Arc::new(RwLock::new(HashMap::new()));
         let shutdown = Arc::new(AtomicBool::new(false));
         let mut workers = Vec::with_capacity(config.num_shards);
+        // One wall-clock origin for every worker, so hop stamps from
+        // different threads are comparable after the merge.
+        let t0 = std::time::Instant::now();
         for id in 0..config.num_shards {
             let socket = UdpSocket::bind("127.0.0.1:0")?;
             socket.set_read_timeout(Some(config.read_timeout))?;
             let addr = socket.local_addr()?;
             let mut shard = Shard::new(id, config.num_shards, config.ring.clone(), config.pipeline);
+            if let Some(trace) = config.trace {
+                shard.enable_tracing(trace, t0);
+            }
             for (key, value) in populate {
                 if shard.owns(key) {
                     shard.populate(*key, value);
@@ -277,7 +335,8 @@ impl NetDataplane {
             shards.push(shard);
             io.push(stats);
         }
-        NetReport { shards, io }
+        let traces = merge_traces(shards.iter_mut().flat_map(|s| s.take_traces()));
+        NetReport { shards, io, traces }
     }
 }
 
@@ -327,6 +386,7 @@ fn worker_loop(
         };
         io.recv_calls += 1;
         io.datagrams_in += n as u64;
+        io.recv_fill[recv_fill_bucket(n)] += 1;
         accepted.clear();
         for i in 0..n {
             if rq.frame(i).len() > MAX_FRAME_LEN {
@@ -343,6 +403,14 @@ fn worker_loop(
         if accepted.is_empty() {
             continue;
         }
+        // Publish the worker's gauges so an in-band `Stat` probe inside this
+        // burst reports live ingress occupancy. One copy per hosted switch
+        // per burst, never per packet.
+        shard.set_probe_gauges(ProbeGauges {
+            queue_depth: n as u16,
+            queue_cap: burst as u16,
+            lat_buckets: [0; netchain_wire::STAT_LAT_BUCKETS],
+        });
         replies.clear();
         shard.process_burst(accepted.iter().map(|&i| rq.frame(i)), &mut replies);
         if replies.is_empty() {
@@ -579,6 +647,60 @@ mod tests {
         let report = plane.shutdown();
         let unrouted: u64 = report.io.iter().map(|s| s.unrouted_replies).sum();
         assert_eq!(unrouted, 1);
+    }
+
+    #[test]
+    fn stat_probe_over_the_socket_reports_live_gauges() {
+        let ring = test_ring();
+        let key = Key::from_u64(5);
+        let populate = vec![(key, Value::from_u64(9))];
+        let config = NetConfig::new(ring.clone(), 1, PipelineConfig::tiny(64));
+        let plane = NetDataplane::start(config, &populate).expect("start");
+        let socket = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        socket
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .expect("timeout");
+        let prober_ip = Ipv4Addr::for_host(77);
+        plane.register_client(prober_ip, socket.local_addr().expect("addr"));
+        // Probe the tail switch of `key`'s chain, in band through the
+        // worker's socket like any query.
+        let target = ring.chain_for_key(&key).tail();
+        let probe = NetChainPacket::query(
+            prober_ip,
+            40_000,
+            target,
+            netchain_wire::OpCode::Stat,
+            key,
+            Value::empty(),
+            netchain_wire::ChainList::new(vec![]).unwrap(),
+            1,
+        );
+        let mut buf = [0u8; MAX_FRAME_LEN + 1];
+        let mut snap = None;
+        for _ in 0..50 {
+            socket
+                .send_to(&probe.to_bytes(), plane.shard_addrs()[0])
+                .expect("send probe");
+            if let Ok((len, _)) = socket.recv_from(&mut buf) {
+                let view = PacketView::parse(&buf[..len]).expect("parse reply");
+                assert_eq!(view.netchain.op(), netchain_wire::OpCode::StatReply);
+                snap = Some(
+                    netchain_wire::StatSnapshot::decode(view.netchain.value())
+                        .expect("decode snapshot"),
+                );
+                break;
+            }
+        }
+        let snap = snap.expect("no probe reply within the retry budget");
+        assert!(snap.packets_seen >= 1);
+        assert_eq!(snap.store_size, 1);
+        // The worker published its live ingress gauges before the burst that
+        // carried the probe.
+        assert_eq!(snap.queue_cap, 32);
+        assert!(snap.queue_depth >= 1);
+        let report = plane.shutdown();
+        assert!(report.io[0].recv_fill.iter().sum::<u64>() >= 1);
+        assert!(report.shards[0].switch(target).unwrap().stats().stat_probes >= 1);
     }
 
     #[test]

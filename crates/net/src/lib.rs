@@ -38,7 +38,10 @@ pub mod emuswitch;
 pub mod iobench;
 pub mod openloop;
 
-pub use dataplane::{FaultSpec, IoMode, IoStats, NetConfig, NetDataplane, NetReport};
+pub use dataplane::{
+    FaultSpec, IoMode, IoStats, NetConfig, NetDataplane, NetReport, RECV_FILL_BOUNDS,
+    RECV_FILL_BUCKETS,
+};
 pub use deployment::{Deployment, DeploymentConfig, LoopbackClient};
 pub use emuswitch::SwitchHandle;
 pub use iobench::{syscall_microbench, SyscallBench};

@@ -41,5 +41,5 @@ pub use program::{
     cas_value, DropReason, NetChainSwitch, StagedOutcome, StagedPacket, SwitchAction, SwitchRole,
 };
 pub use register::RegisterArray;
-pub use stats::SwitchStats;
+pub use stats::{ProbeGauges, SwitchStats};
 pub use table::MatchTable;

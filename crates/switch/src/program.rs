@@ -13,8 +13,10 @@
 use crate::forward::{FailoverAction, ForwardingTable};
 use crate::kv::SwitchKvStore;
 use crate::pipeline::PipelineConfig;
-use crate::stats::SwitchStats;
-use netchain_wire::{BatchEncoder, Ipv4Addr, NetChainPacket, OpCode, QueryStatus, Value};
+use crate::stats::{ProbeGauges, SwitchStats};
+use netchain_wire::{
+    BatchEncoder, Ipv4Addr, NetChainPacket, OpCode, QueryStatus, StatSnapshot, Value,
+};
 
 /// Why a switch dropped a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +116,8 @@ pub struct NetChainSwitch {
     /// Whether the switch processes queries addressed to it. A replacement
     /// switch is installed deactivated and activated in recovery phase 2.
     active: bool,
+    /// Executor-published gauges echoed in stat probe replies.
+    gauges: ProbeGauges,
 }
 
 impl NetChainSwitch {
@@ -126,6 +130,7 @@ impl NetChainSwitch {
             stats: SwitchStats::default(),
             session: 0,
             active: true,
+            gauges: ProbeGauges::default(),
         }
     }
 
@@ -163,6 +168,36 @@ impl NetChainSwitch {
     /// Resets counters (used between experiment phases).
     pub fn reset_stats(&mut self) {
         self.stats = SwitchStats::default();
+    }
+
+    /// Publishes executor gauges (queue depth, service-latency buckets) for
+    /// the next stat probe reply. Called at burst boundaries, never per
+    /// packet.
+    pub fn set_probe_gauges(&mut self, gauges: ProbeGauges) {
+        self.gauges = gauges;
+    }
+
+    /// The compact telemetry snapshot a [`netchain_wire::OpCode::Stat`] probe
+    /// is answered with: live counters, register occupancy, and whatever
+    /// gauges the executor last published.
+    pub fn stat_snapshot(&self) -> StatSnapshot {
+        StatSnapshot {
+            reads: self.stats.reads,
+            writes: self.stats.writes,
+            cas_ops: self.stats.cas_ops,
+            deletes: self.stats.deletes,
+            replies: self.stats.replies_generated,
+            chain_forwards: self.stats.chain_forwards,
+            stale_drops: self.stats.stale_drops,
+            misses: self.stats.misses,
+            blocked: self.stats.blocked,
+            packets_seen: self.stats.packets_seen,
+            store_size: self.kv.store_size() as u32,
+            free_slots: self.kv.free_slots() as u32,
+            queue_depth: self.gauges.queue_depth,
+            queue_cap: self.gauges.queue_cap,
+            lat_buckets: self.gauges.lat_buckets,
+        }
     }
 
     /// The session number stamped on writes sequenced by this switch.
@@ -320,6 +355,7 @@ impl NetChainSwitch {
                 action = match current.netchain.op {
                     OpCode::Read => self.process_read(current),
                     OpCode::Write | OpCode::Cas | OpCode::Delete => self.process_mutation(current),
+                    OpCode::Stat => self.process_stat(current),
                     other => self.process_other(other, current),
                 };
             } else if current.ip.dst != self.ip {
@@ -341,6 +377,19 @@ impl NetChainSwitch {
             }
         }
         action
+    }
+
+    /// Answers an in-band stat probe: encode the current snapshot into the
+    /// reply value and send it straight back. Probes never touch the
+    /// key-value registers or the chain, so a probe is as cheap as a read
+    /// miss and cannot perturb data traffic.
+    fn process_stat(&mut self, mut pkt: NetChainPacket) -> SwitchAction {
+        self.stats.stat_probes += 1;
+        let value = Value::new(self.stat_snapshot().encode().to_vec())
+            .expect("snapshot length is bounded by MAX_VALUE_LEN");
+        pkt.make_reply(self.ip, QueryStatus::Ok, value);
+        self.stats.replies_generated += 1;
+        SwitchAction::Forward(pkt)
     }
 
     fn process_other(&mut self, op: OpCode, mut pkt: NetChainPacket) -> SwitchAction {
@@ -861,6 +910,51 @@ mod tests {
         };
         assert_eq!(out.netchain.op, OpCode::InsertReply);
         assert_eq!(out.netchain.status, QueryStatus::Declined);
+    }
+
+    #[test]
+    fn stat_probe_replies_with_snapshot_and_leaves_state_alone() {
+        let mut s0 = switch(0);
+        s0.handle(read_query(0));
+        s0.handle(write_query(0, vec![], 5));
+        s0.set_probe_gauges(ProbeGauges {
+            queue_depth: 3,
+            queue_cap: 256,
+            lat_buckets: [1, 0, 2, 0, 0, 0, 0, 7],
+        });
+        let size_before = s0.kv().store_size();
+
+        let mut probe = read_query(0);
+        probe.netchain.op = OpCode::Stat;
+        let out = match s0.handle(probe) {
+            SwitchAction::Forward(p) => p,
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert_eq!(out.netchain.op, OpCode::StatReply);
+        assert_eq!(out.netchain.status, QueryStatus::Ok);
+        assert_eq!(out.ip.dst, Ipv4Addr::for_host(0));
+
+        let snap = StatSnapshot::decode(out.netchain.value.as_bytes()).unwrap();
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.store_size, size_before as u32);
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.queue_cap, 256);
+        assert_eq!(snap.lat_buckets[7], 7);
+        // The probe itself is counted but never touches the registers.
+        assert_eq!(s0.stats().stat_probes, 1);
+        assert_eq!(s0.kv().store_size(), size_before);
+
+        // A second probe sees the first one's packet count.
+        let mut probe2 = read_query(0);
+        probe2.netchain.op = OpCode::Stat;
+        let out2 = match s0.handle(probe2) {
+            SwitchAction::Forward(p) => p,
+            other => panic!("unexpected: {other:?}"),
+        };
+        let snap2 = StatSnapshot::decode(out2.netchain.value.as_bytes()).unwrap();
+        assert_eq!(snap2.packets_seen, snap.packets_seen + 1);
+        assert!(snap2.replies > snap.replies);
     }
 
     #[test]

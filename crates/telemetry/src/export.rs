@@ -48,6 +48,76 @@ impl Json {
         Json::Str(s.into())
     }
 
+    /// Parses JSON text back into a [`Json`] tree (the inverse of
+    /// [`Json::render`]). Accepts standard JSON: the bench gate uses this to
+    /// read committed `BENCH_*.json` baselines without pulling in serde.
+    ///
+    /// Number mapping mirrors the enum: non-negative integers that fit a
+    /// `u64` become [`Json::U64`]; everything else (fractions, exponents,
+    /// negatives) becomes [`Json::F64`].
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Navigates a dotted key path with optional array indices, e.g.
+    /// `"latency[0].quantiles.p99_ns"`. Returns `None` when any step is
+    /// missing or the shape does not match.
+    pub fn get(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for part in path.split('.') {
+            if part.is_empty() {
+                return None;
+            }
+            let (key, indices) = match part.find('[') {
+                Some(b) => (&part[..b], &part[b..]),
+                None => (part, ""),
+            };
+            if !key.is_empty() {
+                match cur {
+                    Json::Obj(pairs) => {
+                        cur = &pairs.iter().find(|(k, _)| k == key)?.1;
+                    }
+                    _ => return None,
+                }
+            }
+            for idx in indices.split_terminator(']') {
+                let idx: usize = idx.strip_prefix('[')?.parse().ok()?;
+                match cur {
+                    Json::Arr(items) => cur = items.get(idx)?,
+                    _ => return None,
+                }
+            }
+        }
+        Some(cur)
+    }
+
+    /// The value as a number, unifying [`Json::U64`] and [`Json::F64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Renders to compact JSON text.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -109,6 +179,189 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Recursive-descent JSON reader over raw bytes. Errors carry the byte
+/// offset so a malformed bench file points at itself.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            // Surrogate pairs don't occur in bench files;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar. The input came from a &str
+                    // and `pos` only ever advances by whole chars, so the
+                    // suffix is valid UTF-8.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("bad utf-8")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if !float && !text.starts_with('-') {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
     }
 }
 
@@ -295,6 +548,76 @@ mod tests {
             r#"{"n":3,"rate":1.5,"name":"a \"b\"\n","flag":true,"none":null,"xs":[1,2]}"#
         );
         assert_eq!(Json::F64(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn json_parse_round_trips_render() {
+        let j = Json::obj(vec![
+            ("n", Json::U64(3)),
+            ("rate", Json::F64(1.5)),
+            ("name", Json::str("a \"b\"\n\t\\")),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "xs",
+                Json::Arr(vec![Json::U64(1), Json::Obj(vec![]), Json::Arr(vec![])]),
+            ),
+        ]);
+        assert_eq!(Json::parse(&j.render()).unwrap(), j);
+    }
+
+    #[test]
+    fn json_parse_number_mapping_and_whitespace() {
+        let j = Json::parse(" { \"a\" : -2.5e3 , \"b\" : 42, \"c\": 0.5 } ").unwrap();
+        assert_eq!(j.get("a"), Some(&Json::F64(-2500.0)));
+        assert_eq!(j.get("b"), Some(&Json::U64(42)));
+        assert_eq!(j.get("c"), Some(&Json::F64(0.5)));
+        // u64 overflow falls back to float rather than erroring.
+        let big = Json::parse("99999999999999999999999").unwrap();
+        assert_eq!(big, Json::F64(1e23));
+        // \u escapes decode.
+        assert_eq!(
+            Json::parse("\"a\\u0041b\"").unwrap(),
+            Json::Str("aAb".to_string())
+        );
+    }
+
+    #[test]
+    fn json_parse_rejects_malformed_input() {
+        for bad in ["{", "[1,", "\"unterminated", "{\"a\" 1}", "1 2", "nul", ""] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed: {bad}");
+        }
+    }
+
+    #[test]
+    fn json_get_navigates_paths_with_indices() {
+        let j = Json::parse(
+            r#"{"latency":[{"quantiles":{"p99_ns":7}},{"quantiles":{"p99_ns":9}}],"grid":[[1,2],[3,4]]}"#,
+        )
+        .unwrap();
+        assert_eq!(j.get("latency[0].quantiles.p99_ns"), Some(&Json::U64(7)));
+        assert_eq!(j.get("latency[1].quantiles.p99_ns"), Some(&Json::U64(9)));
+        assert_eq!(j.get("grid[1][0]"), Some(&Json::U64(3)));
+        assert_eq!(j.get("latency[2].quantiles"), None);
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(j.get("latency.quantiles"), None); // array, not object
+        assert_eq!(
+            j.get("latency[0].quantiles.p99_ns").unwrap().as_f64(),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn json_parse_reads_the_committed_bench_shape() {
+        // The exact shape bench_gate consumes from BENCH_net.json.
+        let text = r#"{"experiment":"net_scale","capacity":{"burst_vs_single_speedup":0.87},"latency":[{"abandoned":0}]}"#;
+        let j = Json::parse(text).unwrap();
+        assert_eq!(j.get("experiment").unwrap().as_str(), Some("net_scale"));
+        assert_eq!(
+            j.get("capacity.burst_vs_single_speedup").unwrap().as_f64(),
+            Some(0.87)
+        );
+        assert_eq!(j.get("latency[0].abandoned").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

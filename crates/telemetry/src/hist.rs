@@ -222,6 +222,36 @@ impl HistSnapshot {
         Some(self.max)
     }
 
+    /// Iterates every bucket in ascending value order as
+    /// `(inclusive upper bound, count)` pairs — [`BUCKETS`] entries, zero
+    /// counts included so consumers can rebin without guessing the layout.
+    /// The topmost bucket's bound is clamped to `u64::MAX` (its true range
+    /// end exceeds the u64 domain).
+    pub fn buckets(&self) -> impl Iterator<Item = HistBucket> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(idx, &count)| HistBucket {
+                upper_bound: bucket_upper_bound(idx),
+                count,
+            })
+    }
+
+    /// Folds the full-resolution buckets into `n` coarse bins by index range
+    /// (bin `k` covers buckets `[k*BUCKETS/n, (k+1)*BUCKETS/n)`), returning
+    /// the per-bin counts. The binning is fixed — independent of the data —
+    /// so successive snapshots of the same histogram can be diffed bin-wise,
+    /// which is what the in-band stat probes and `ops_top` sparklines rely
+    /// on.
+    pub fn coarse_counts(&self, n: usize) -> Vec<u64> {
+        assert!(n > 0 && n <= BUCKETS, "bin count must be in 1..=BUCKETS");
+        let mut out = vec![0u64; n];
+        for (idx, &c) in self.counts.iter().enumerate() {
+            out[idx * n / BUCKETS] += c;
+        }
+        out
+    }
+
     /// The standard summary tuple used by every exporter.
     pub fn quantiles(&self) -> Quantiles {
         Quantiles {
@@ -235,6 +265,17 @@ impl HistSnapshot {
             max_ns: self.max().unwrap_or(0),
         }
     }
+}
+
+/// One bucket of a [`HistSnapshot`]: the inclusive upper bound of its value
+/// range and the number of samples that fell into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistBucket {
+    /// Largest value that maps into this bucket (clamped to `u64::MAX` for
+    /// the topmost bucket).
+    pub upper_bound: u64,
+    /// Samples recorded in this bucket.
+    pub count: u64,
 }
 
 /// Summary statistics of a latency distribution, in nanoseconds.
@@ -378,6 +419,99 @@ mod tests {
         let q = s.quantiles();
         assert_eq!(q.count, 0);
         assert_eq!(q.p99_ns, 0);
+    }
+
+    #[test]
+    fn bucket_iteration_matches_sorted_vector_oracle() {
+        // The bucket iterator must reproduce the histogram exactly: same
+        // total count, counts in the right ranges, and quantiles recomputed
+        // from the iterated buckets must equal HistSnapshot::quantile.
+        let mut vals: Vec<u64> = Vec::new();
+        let mut x: u64 = 9;
+        for i in 0..5_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            vals.push(x % (1u64 << (i % 40)).max(1));
+        }
+        let mut h = LatencyHistogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let s = h.snapshot();
+
+        let buckets: Vec<HistBucket> = s.buckets().collect();
+        assert_eq!(buckets.len(), BUCKETS);
+        // Upper bounds strictly increase until the clamp region.
+        for w in buckets.windows(2) {
+            assert!(w[0].upper_bound <= w[1].upper_bound);
+        }
+        assert_eq!(buckets.iter().map(|b| b.count).sum::<u64>(), s.count());
+
+        // Oracle: every sample must fall inside its bucket's range, checked
+        // by counting how many sorted samples fit under each upper bound.
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let mut cumulative = 0u64;
+        for b in &buckets {
+            cumulative += b.count;
+            let oracle = sorted.partition_point(|&v| v <= b.upper_bound) as u64;
+            assert_eq!(
+                cumulative, oracle,
+                "cumulative count diverges at bound {}",
+                b.upper_bound
+            );
+        }
+
+        // Quantiles recomputed from the iterated buckets equal the built-ins.
+        for &q in &[0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * s.count() as f64).ceil() as u64).clamp(1, s.count());
+            let mut seen = 0u64;
+            let mut from_iter = None;
+            for b in &buckets {
+                seen += b.count;
+                if seen >= rank {
+                    from_iter = Some(b.upper_bound.min(s.max().unwrap()));
+                    break;
+                }
+            }
+            assert_eq!(from_iter, s.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn topmost_bucket_is_clamped_and_iterable() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        let last = s.buckets().last().unwrap();
+        assert_eq!(last.upper_bound, u64::MAX);
+        assert_eq!(last.count, 1);
+        // The clamped bound still round-trips through quantile logic.
+        assert_eq!(s.quantile(1.0), Some(u64::MAX));
+        // And the occupied bucket found by iteration is the last one.
+        let occupied: Vec<HistBucket> = s.buckets().filter(|b| b.count > 0).collect();
+        assert_eq!(occupied, vec![last]);
+    }
+
+    #[test]
+    fn coarse_counts_preserve_totals_and_are_diffable() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 5, 40, 1_000, 50_000, 2_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let a = h.snapshot().coarse_counts(8);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a.iter().sum::<u64>(), 7);
+        // Recording more samples only grows bins: cumulative snapshots of
+        // the same histogram are bin-wise diffable.
+        h.record(2);
+        h.record(u64::MAX - 1);
+        let b = h.snapshot().coarse_counts(8);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(y >= x);
+        }
+        assert_eq!(b.iter().sum::<u64>(), 9);
     }
 
     #[test]

@@ -22,18 +22,29 @@
 //!   ([`Journal`]) generalising livectl's `FailoverTimeline`.
 //! * [`export`] — a dependency-free JSON tree ([`Json`]) and JSON-lines
 //!   [`ArtifactWriter`] producing `BENCH_<name>.jsonl` run artifacts.
+//! * [`window`] — per-shard rolling windows of slice-aligned counters
+//!   ([`RollingWindow`], [`WindowRegistry`]) feeding live dashboards and the
+//!   gray-failure detector.
+//! * [`flight`] — a bounded [`FlightRecorder`] ring of recent events, dumped
+//!   to the artifact dir (`FLIGHT_<name>.jsonl`) on anomaly or smoke failure.
 
 pub mod export;
+pub mod flight;
 pub mod hist;
 pub mod journal;
 pub mod metrics;
 pub mod trace;
+pub mod window;
 
 pub use export::{artifact_dir, ArtifactWriter, Json};
-pub use hist::{HistSnapshot, LatencyHistogram, Quantiles};
+pub use flight::FlightRecorder;
+pub use hist::{HistBucket, HistSnapshot, LatencyHistogram, Quantiles};
 pub use journal::{Journal, Span, SpanHandle};
 pub use metrics::{sum_metrics, LiveCounters, Metrics, TimeSeries};
 pub use trace::{
     ip_to_string, merge_traces, path_to_string, trace_id, HopStamp, PacketTrace, TraceConfig,
     TraceSink, TraceSummary,
+};
+pub use window::{
+    RollingWindow, SliceCounters, WindowChannel, WindowRegistry, ALL_CHANNELS, WINDOW_CHANNELS,
 };

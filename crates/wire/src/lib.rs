@@ -38,6 +38,7 @@ pub mod ipv4;
 pub mod netchain;
 pub mod packet;
 pub mod pool;
+pub mod stat;
 pub mod udp;
 pub mod view;
 
@@ -50,6 +51,7 @@ pub use netchain::{
 };
 pub use packet::NetChainPacket;
 pub use pool::{PacketPool, MAX_FRAME_LEN};
+pub use stat::{StatSnapshot, STAT_LAT_BUCKETS, STAT_SNAPSHOT_LEN, STAT_VERSION};
 pub use udp::{UdpHeader, UDP_HEADER_LEN};
 pub use view::{
     validate_batch, validate_frame, BatchEncoder, BatchView, NetChainView, PacketView, ParsedBatch,

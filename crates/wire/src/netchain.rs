@@ -204,6 +204,11 @@ pub enum OpCode {
     /// Compare-and-swap: write only if the stored value equals the expected
     /// value carried in the query. Used to build exclusive locks (§8.5).
     Cas,
+    /// In-band stat probe: the addressed switch answers with a compact
+    /// telemetry snapshot ([`crate::stat::StatSnapshot`]) in the reply value,
+    /// without pausing query processing. Probes never touch the key-value
+    /// registers and never traverse the chain.
+    Stat,
     /// Reply to a [`OpCode::Read`].
     ReadReply,
     /// Reply to a [`OpCode::Write`].
@@ -214,6 +219,8 @@ pub enum OpCode {
     DeleteReply,
     /// Reply to a [`OpCode::Cas`].
     CasReply,
+    /// Reply to a [`OpCode::Stat`] probe, carrying the encoded snapshot.
+    StatReply,
 }
 
 impl OpCode {
@@ -225,11 +232,13 @@ impl OpCode {
             OpCode::Insert => 3,
             OpCode::Delete => 4,
             OpCode::Cas => 5,
+            OpCode::Stat => 6,
             OpCode::ReadReply => 17,
             OpCode::WriteReply => 18,
             OpCode::InsertReply => 19,
             OpCode::DeleteReply => 20,
             OpCode::CasReply => 21,
+            OpCode::StatReply => 22,
         }
     }
 
@@ -241,11 +250,13 @@ impl OpCode {
             3 => OpCode::Insert,
             4 => OpCode::Delete,
             5 => OpCode::Cas,
+            6 => OpCode::Stat,
             17 => OpCode::ReadReply,
             18 => OpCode::WriteReply,
             19 => OpCode::InsertReply,
             20 => OpCode::DeleteReply,
             21 => OpCode::CasReply,
+            22 => OpCode::StatReply,
             other => return Err(WireError::UnknownOpCode(other)),
         })
     }
@@ -264,6 +275,7 @@ impl OpCode {
                 | OpCode::InsertReply
                 | OpCode::DeleteReply
                 | OpCode::CasReply
+                | OpCode::StatReply
         )
     }
 
@@ -285,6 +297,7 @@ impl OpCode {
             OpCode::Insert => OpCode::InsertReply,
             OpCode::Delete => OpCode::DeleteReply,
             OpCode::Cas => OpCode::CasReply,
+            OpCode::Stat => OpCode::StatReply,
             reply => reply,
         }
     }
@@ -598,11 +611,13 @@ mod tests {
             OpCode::Insert,
             OpCode::Delete,
             OpCode::Cas,
+            OpCode::Stat,
             OpCode::ReadReply,
             OpCode::WriteReply,
             OpCode::InsertReply,
             OpCode::DeleteReply,
             OpCode::CasReply,
+            OpCode::StatReply,
         ] {
             assert_eq!(OpCode::from_u8(op.to_u8()).unwrap(), op);
             assert_eq!(op.is_query(), !op.is_reply());
@@ -611,6 +626,8 @@ mod tests {
         assert!(OpCode::Write.is_mutation());
         assert!(OpCode::Cas.is_mutation());
         assert!(!OpCode::Read.is_mutation());
+        assert!(!OpCode::Stat.is_mutation());
+        assert_eq!(OpCode::Stat.reply(), OpCode::StatReply);
         assert!(matches!(
             OpCode::from_u8(0).unwrap_err(),
             WireError::UnknownOpCode(0)

@@ -1,0 +1,258 @@
+//! The payload of an in-band stat probe reply.
+//!
+//! A [`crate::OpCode::Stat`] query addressed to a switch is answered with a
+//! [`crate::OpCode::StatReply`] whose value carries a [`StatSnapshot`]: a
+//! compact, fixed-layout encoding of the switch's per-op counters, register
+//! occupancy, executor queue depth, and a coarse delta of its service-latency
+//! histogram. The encoding is deliberately small enough to fit a normal
+//! NetChain value ([`STAT_SNAPSHOT_LEN`] ≤ [`MAX_VALUE_LEN`]), so a probe
+//! reply is an ordinary reply packet that rides the same wire, sockets, and
+//! rings as data traffic — in-band introspection in the INT spirit, not a
+//! side channel.
+//!
+//! Layout (all multi-byte fields big-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     VERSION        snapshot format version (= STAT_VERSION)
+//! 1       8*10  COUNTERS       reads, writes, cas_ops, deletes, replies,
+//!                              chain_forwards, stale_drops, misses,
+//!                              blocked, packets_seen
+//! 81      4     STORE-SIZE     live register slots (keys stored)
+//! 85      4     FREE-SLOTS     remaining register capacity
+//! 89      2     QUEUE-DEPTH    executor ingress queue occupancy (frames)
+//! 91      2     QUEUE-CAP      executor ingress queue capacity (frames)
+//! 93      4*8   LAT-BUCKETS    coarse latency histogram delta (saturating)
+//! ```
+
+use crate::error::{WireError, WireResult};
+use crate::netchain::MAX_VALUE_LEN;
+
+/// Current snapshot format version.
+pub const STAT_VERSION: u8 = 1;
+
+/// Number of coarse latency buckets carried in a snapshot. Producers fold
+/// their full-resolution histograms down to this many power-of-two-ish
+/// ranges; consumers (`ops_top`) render them as sparklines.
+pub const STAT_LAT_BUCKETS: usize = 8;
+
+/// Number of `u64` counters carried in a snapshot.
+const STAT_COUNTERS: usize = 10;
+
+/// Serialized length of a [`StatSnapshot`] in bytes.
+pub const STAT_SNAPSHOT_LEN: usize = 1 + 8 * STAT_COUNTERS + 4 + 4 + 2 + 2 + 4 * STAT_LAT_BUCKETS;
+
+// A snapshot must fit in a reply value, or probes could not ride the wire.
+const _: () = assert!(STAT_SNAPSHOT_LEN <= MAX_VALUE_LEN);
+
+/// A compact telemetry snapshot of one switch/shard, carried in the value of
+/// a [`crate::OpCode::StatReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatSnapshot {
+    /// Read queries served (tail reads + failover-assisted reads).
+    pub reads: u64,
+    /// Write queries sequenced or propagated.
+    pub writes: u64,
+    /// Compare-and-swap queries processed.
+    pub cas_ops: u64,
+    /// Delete queries processed.
+    pub deletes: u64,
+    /// Replies generated (this switch was the last chain hop).
+    pub replies: u64,
+    /// Queries forwarded down the chain.
+    pub chain_forwards: u64,
+    /// Stale writes dropped by the (session, seq) check.
+    pub stale_drops: u64,
+    /// Queries for keys this switch does not store.
+    pub misses: u64,
+    /// Queries dropped by a recovery block rule.
+    pub blocked: u64,
+    /// Total NetChain packets seen by the program.
+    pub packets_seen: u64,
+    /// Live register slots (keys currently stored).
+    pub store_size: u32,
+    /// Remaining register capacity in slots.
+    pub free_slots: u32,
+    /// Executor ingress queue occupancy in frames, saturated to `u16::MAX`.
+    /// For a fabric shard this is the SPSC ring depth at the last burst
+    /// boundary; for a net worker the receive-slot fill of the last
+    /// `recvmmsg`; zero in the simulator (queues are virtual time there).
+    pub queue_depth: u16,
+    /// Executor ingress queue capacity in frames (zero when not applicable).
+    pub queue_cap: u16,
+    /// Coarse service-latency histogram delta since the previous probe,
+    /// saturating per-bucket at `u32::MAX`. All zeros when the executor does
+    /// not time individual operations.
+    pub lat_buckets: [u32; STAT_LAT_BUCKETS],
+}
+
+impl StatSnapshot {
+    /// Serializes the snapshot into its fixed [`STAT_SNAPSHOT_LEN`]-byte
+    /// wire form.
+    pub fn encode(&self) -> [u8; STAT_SNAPSHOT_LEN] {
+        let mut out = [0u8; STAT_SNAPSHOT_LEN];
+        out[0] = STAT_VERSION;
+        let mut off = 1;
+        for c in self.counters() {
+            out[off..off + 8].copy_from_slice(&c.to_be_bytes());
+            off += 8;
+        }
+        out[off..off + 4].copy_from_slice(&self.store_size.to_be_bytes());
+        off += 4;
+        out[off..off + 4].copy_from_slice(&self.free_slots.to_be_bytes());
+        off += 4;
+        out[off..off + 2].copy_from_slice(&self.queue_depth.to_be_bytes());
+        off += 2;
+        out[off..off + 2].copy_from_slice(&self.queue_cap.to_be_bytes());
+        off += 2;
+        for b in self.lat_buckets {
+            out[off..off + 4].copy_from_slice(&b.to_be_bytes());
+            off += 4;
+        }
+        debug_assert_eq!(off, STAT_SNAPSHOT_LEN);
+        out
+    }
+
+    /// Parses a snapshot from a reply value. Rejects short buffers and
+    /// unknown versions; ignores trailing bytes (future versions may append).
+    pub fn decode(buf: &[u8]) -> WireResult<Self> {
+        if buf.len() < STAT_SNAPSHOT_LEN {
+            return Err(WireError::Truncated {
+                layer: "stat",
+                needed: STAT_SNAPSHOT_LEN,
+                available: buf.len(),
+            });
+        }
+        if buf[0] != STAT_VERSION {
+            return Err(WireError::InvalidField {
+                layer: "stat",
+                field: "version",
+                value: u64::from(buf[0]),
+            });
+        }
+        let mut off = 1;
+        let mut counters = [0u64; STAT_COUNTERS];
+        for c in &mut counters {
+            *c = u64::from_be_bytes(buf[off..off + 8].try_into().unwrap());
+            off += 8;
+        }
+        let store_size = u32::from_be_bytes(buf[off..off + 4].try_into().unwrap());
+        off += 4;
+        let free_slots = u32::from_be_bytes(buf[off..off + 4].try_into().unwrap());
+        off += 4;
+        let queue_depth = u16::from_be_bytes(buf[off..off + 2].try_into().unwrap());
+        off += 2;
+        let queue_cap = u16::from_be_bytes(buf[off..off + 2].try_into().unwrap());
+        off += 2;
+        let mut lat_buckets = [0u32; STAT_LAT_BUCKETS];
+        for b in &mut lat_buckets {
+            *b = u32::from_be_bytes(buf[off..off + 4].try_into().unwrap());
+            off += 4;
+        }
+        let [reads, writes, cas_ops, deletes, replies, chain_forwards, stale_drops, misses, blocked, packets_seen] =
+            counters;
+        Ok(StatSnapshot {
+            reads,
+            writes,
+            cas_ops,
+            deletes,
+            replies,
+            chain_forwards,
+            stale_drops,
+            misses,
+            blocked,
+            packets_seen,
+            store_size,
+            free_slots,
+            queue_depth,
+            queue_cap,
+            lat_buckets,
+        })
+    }
+
+    /// Total queries processed, the snapshot's natural "ops" gauge.
+    pub fn ops(&self) -> u64 {
+        self.reads + self.writes + self.cas_ops + self.deletes
+    }
+
+    /// The counters in wire order.
+    fn counters(&self) -> [u64; STAT_COUNTERS] {
+        [
+            self.reads,
+            self.writes,
+            self.cas_ops,
+            self.deletes,
+            self.replies,
+            self.chain_forwards,
+            self.stale_drops,
+            self.misses,
+            self.blocked,
+            self.packets_seen,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StatSnapshot {
+        StatSnapshot {
+            reads: 1,
+            writes: 2,
+            cas_ops: 3,
+            deletes: 4,
+            replies: 5,
+            chain_forwards: 6,
+            stale_drops: 7,
+            misses: 8,
+            blocked: 9,
+            packets_seen: u64::MAX,
+            store_size: 100,
+            free_slots: 28,
+            queue_depth: 17,
+            queue_cap: 256,
+            lat_buckets: [0, 1, 2, u32::MAX, 4, 5, 6, 7],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = sample();
+        let bytes = snap.encode();
+        assert_eq!(bytes.len(), STAT_SNAPSHOT_LEN);
+        assert_eq!(StatSnapshot::decode(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn decode_ignores_trailing_bytes() {
+        let snap = sample();
+        let mut bytes = snap.encode().to_vec();
+        bytes.push(0xff);
+        assert_eq!(StatSnapshot::decode(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bad_version() {
+        let snap = sample();
+        let bytes = snap.encode();
+        assert!(matches!(
+            StatSnapshot::decode(&bytes[..STAT_SNAPSHOT_LEN - 1]).unwrap_err(),
+            WireError::Truncated { layer: "stat", .. }
+        ));
+        let mut bad = bytes;
+        bad[0] = 99;
+        assert!(matches!(
+            StatSnapshot::decode(&bad).unwrap_err(),
+            WireError::InvalidField {
+                field: "version",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ops_sums_query_counters() {
+        assert_eq!(sample().ops(), 1 + 2 + 3 + 4);
+    }
+}

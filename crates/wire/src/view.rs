@@ -280,9 +280,10 @@ const NC_OFF: usize = UDP_OFF + UDP_HEADER_LEN;
 /// stage 1 validates without a branch).
 const OP_VALID: [bool; 256] = {
     let mut t = [false; 256];
-    // Queries 1–5, replies 17–21 — exactly the bytes OpCode::from_u8 accepts.
+    // Queries 1–6, replies 17–22 — exactly the bytes OpCode::from_u8 accepts
+    // (6/22 are the in-band Stat probe and its reply).
     let mut v = 1;
-    while v <= 5 {
+    while v <= 6 {
         t[v] = true;
         t[v + 16] = true;
         v += 1;

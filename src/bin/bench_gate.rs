@@ -1,0 +1,8 @@
+//! Workspace-root alias for the bench regression gate, so
+//! `cargo run --release --bin bench_gate` works without `-p`.
+//! See `crates/experiments/src/bench_gate.rs`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(netchain_experiments::bench_gate::run_cli(&args));
+}

@@ -1,0 +1,8 @@
+//! Workspace-root alias for the live ops dashboard, so
+//! `cargo run --release --bin ops_top` works without `-p`.
+//! See `crates/experiments/src/ops_top.rs`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    netchain_experiments::ops_top::run_cli(&args);
+}
