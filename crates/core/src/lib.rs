@@ -30,6 +30,7 @@ pub mod client;
 pub mod cluster;
 pub mod controller;
 pub mod directory;
+pub mod evidence;
 pub mod failplan;
 pub mod hashring;
 pub mod message;
@@ -41,6 +42,7 @@ pub use client::{ScriptedClient, WorkloadClient, WorkloadConfig};
 pub use cluster::{ClusterConfig, ClusterLayout, NetChainCluster};
 pub use controller::{Controller, ControllerConfig};
 pub use directory::{AddressMap, ChainDirectory};
+pub use evidence::{evidence_op, query_evidence};
 pub use failplan::{FailoverPlan, GroupRepair, RecoveryPlan};
 pub use hashring::{ChainDescriptor, HashRing};
 pub use message::{ControlMsg, NetMsg};

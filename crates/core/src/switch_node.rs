@@ -168,11 +168,15 @@ impl Node<NetMsg> for SwitchNode {
                     if pkt.ip.dst == self.switch.ip() && pkt.netchain.op.is_query() {
                         let id =
                             trace_id(u32::from_be_bytes(pkt.ip.src.0), pkt.netchain.request_id);
-                        tracer.borrow_mut().stamp(
-                            id,
-                            u32::from_be_bytes(self.switch.ip().0),
-                            ctx.now().as_nanos(),
-                        );
+                        let mut sink = tracer.borrow_mut();
+                        if sink.samples(id) {
+                            let hop_ip = u32::from_be_bytes(self.switch.ip().0);
+                            let at_ns = ctx.now().as_nanos();
+                            match crate::evidence::query_evidence(&self.switch, &pkt.netchain) {
+                                Some(ev) => sink.stamp_with(id, hop_ip, at_ns, ev),
+                                None => sink.stamp(id, hop_ip, at_ns),
+                            }
+                        }
                     }
                 }
                 match self.switch.handle(pkt) {

@@ -23,6 +23,9 @@ use netchain_telemetry::Json;
 pub enum Demand {
     /// Fresh must be at least `baseline * (1 - tolerance)`.
     Ratio,
+    /// Fresh must be at most `baseline * (1 + tolerance)` — for
+    /// lower-is-better metrics like latency quantiles.
+    Ceiling,
     /// Fresh must be exactly zero (the baseline is ignored).
     Zero,
 }
@@ -58,10 +61,25 @@ pub const NET_RULES: &[Rule] = &[
 ];
 
 /// The rule set for `BENCH_fabric.json` (`"experiment":"fabric_scale"`).
-pub const FABRIC_RULES: &[Rule] = &[Rule {
-    path: "staged_vs_scalar_burst.speedup",
-    demand: Demand::Ratio,
-}];
+///
+/// The live-profile latency quantiles are gated as **ceilings**: latency
+/// points are machine-dependent in absolute terms, but a fresh run on the
+/// same machine blowing past the committed p50/p99 by more than the slack is
+/// exactly the regression this gate exists to catch.
+pub const FABRIC_RULES: &[Rule] = &[
+    Rule {
+        path: "staged_vs_scalar_burst.speedup",
+        demand: Demand::Ratio,
+    },
+    Rule {
+        path: "live_profile.quantiles.p50_ns",
+        demand: Demand::Ceiling,
+    },
+    Rule {
+        path: "live_profile.quantiles.p99_ns",
+        demand: Demand::Ceiling,
+    },
+];
 
 /// Rule set for a bench file, keyed off its `"experiment"` field.
 pub fn rules_for(experiment: &str) -> Option<&'static [Rule]> {
@@ -83,17 +101,18 @@ pub struct Check {
     pub baseline: f64,
     /// Freshly measured value.
     pub fresh: f64,
-    /// The lowest fresh value that still passes.
+    /// The passing bound: the lowest passing fresh value for [`Demand::Ratio`]
+    /// and [`Demand::Zero`], the highest for [`Demand::Ceiling`].
     pub floor: f64,
     /// Whether the fresh value satisfies the demand.
     pub pass: bool,
 }
 
 impl Check {
-    /// One aligned report line: metric, baseline, fresh, floor, verdict.
+    /// One aligned report line: metric, baseline, fresh, bound, verdict.
     pub fn to_line(&self) -> String {
         format!(
-            "{:<38} baseline {:>9.4}  fresh {:>9.4}  floor {:>9.4}  {}",
+            "{:<38} baseline {:>9.4}  fresh {:>9.4}  bound {:>9.4}  {}",
             self.path,
             self.baseline,
             self.fresh,
@@ -138,6 +157,10 @@ pub fn run_gate(baseline: &Json, fresh: &Json, tolerance: f64) -> Result<Vec<Che
             Demand::Ratio => {
                 let floor = baseline_v * (1.0 - slack);
                 (floor, fresh_v >= floor)
+            }
+            Demand::Ceiling => {
+                let ceiling = baseline_v * (1.0 + slack);
+                (ceiling, fresh_v <= ceiling)
             }
             Demand::Zero => (0.0, fresh_v == 0.0),
         };
@@ -274,18 +297,62 @@ mod tests {
         assert!(!abandoned.pass);
     }
 
+    fn fabric_doc(speedup: f64, p50: u64, p99: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"experiment":"fabric_scale",
+                "staged_vs_scalar_burst":{{"speedup":{speedup}}},
+                "live_profile":{{"quantiles":{{"p50_ns":{p50},"p99_ns":{p99}}}}}}}"#
+        ))
+        .unwrap()
+    }
+
     #[test]
     fn fabric_rules_gate_the_staged_speedup() {
-        let doc = |speedup: f64| {
-            Json::parse(&format!(
-                r#"{{"experiment":"fabric_scale","staged_vs_scalar_burst":{{"speedup":{speedup}}}}}"#
-            ))
-            .unwrap()
-        };
-        let ok = run_gate(&doc(1.40), &doc(1.30), 0.2).unwrap();
+        let ok = run_gate(
+            &fabric_doc(1.40, 70_000, 130_000),
+            &fabric_doc(1.30, 70_000, 130_000),
+            0.2,
+        )
+        .unwrap();
+        assert_eq!(ok.len(), FABRIC_RULES.len());
         assert!(ok.iter().all(|c| c.pass));
-        let bad = run_gate(&doc(1.40), &doc(1.00), 0.2).unwrap();
+        let bad = run_gate(
+            &fabric_doc(1.40, 70_000, 130_000),
+            &fabric_doc(1.00, 70_000, 130_000),
+            0.2,
+        )
+        .unwrap();
         assert!(!bad[0].pass);
+    }
+
+    #[test]
+    fn fabric_latency_ceilings_fail_on_blowup_not_on_improvement() {
+        let baseline = fabric_doc(1.40, 70_000, 130_000);
+        // Latency dropping is always fine — a ceiling, not a band.
+        let faster = fabric_doc(1.40, 35_000, 65_000);
+        assert!(run_gate(&baseline, &faster, 0.2)
+            .unwrap()
+            .iter()
+            .all(|c| c.pass));
+        // p99 blowing 50% past the committed point (> 20% slack) fails.
+        let blowup = fabric_doc(1.40, 70_000, 195_000);
+        let checks = run_gate(&baseline, &blowup, 0.2).unwrap();
+        let p99 = checks
+            .iter()
+            .find(|c| c.path == "live_profile.quantiles.p99_ns")
+            .unwrap();
+        assert_eq!(p99.demand, Demand::Ceiling);
+        assert!(!p99.pass);
+        assert!(p99.to_line().contains("REGRESSION"));
+        // A smoke fresh file doubles the ceiling slack too.
+        let mild = Json::parse(&fabric_doc(1.40, 70_000, 175_000).render().replacen(
+            "\"experiment\"",
+            "\"smoke\":true,\"experiment\"",
+            1,
+        ))
+        .unwrap();
+        let checks = run_gate(&baseline, &mild, 0.2).unwrap();
+        assert!(checks.iter().all(|c| c.pass), "{checks:?}");
     }
 
     #[test]

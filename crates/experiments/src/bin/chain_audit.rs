@@ -1,0 +1,7 @@
+//! Offline chain-consistency audit over exported JSONL artifacts.
+//! See `crates/experiments/src/chain_audit.rs`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(netchain_experiments::chain_audit::run_cli(&args));
+}

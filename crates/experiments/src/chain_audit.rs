@@ -1,0 +1,489 @@
+//! Offline chain-consistency audit over exported run artifacts.
+//!
+//! `chain_audit <dir-or-file>` replays the consistency story of a finished
+//! run from its JSON-lines artifacts alone: `"trace"` records (the in-band
+//! evidence stamps clients and switches left on sampled queries) plus the
+//! control-plane journal (`"spans"` records in `BENCH_*.jsonl`,
+//! `journal.span`/`journal.instant` events in `FLIGHT_*.jsonl`), fed through
+//! [`netchain_telemetry::audit`]. Every matching file is audited
+//! **independently** — trace ids and key fingerprints are only unique within
+//! one run, so merging files would manufacture collisions. Within a file,
+//! records are further partitioned by their optional `"run"` label
+//! (`failover_live` emits one run per group count, `net_scale` one per I/O
+//! mode — each with its own timebase and version history) and each labelled
+//! run is audited against its own journal.
+//!
+//! Exit codes: `0` every audited file is clean, `1` at least one violation
+//! (a structured report is also dumped through the flight recorder), `2`
+//! usage error or no traces found anywhere.
+
+use netchain_telemetry::{
+    audit, journal_from_json, trace_from_json, AuditConfig, AuditReport, FlightRecorder, Journal,
+    Json, PacketTrace,
+};
+use std::path::{Path, PathBuf};
+
+/// What one artifact file contributed to the audit.
+#[derive(Debug)]
+pub struct FileAudit {
+    /// The file that was audited.
+    pub path: PathBuf,
+    /// Decoded traces (evidence-bearing and bare alike).
+    pub traces: usize,
+    /// `"trace"` records rejected for a schema newer than this decoder —
+    /// counted, never panicked over.
+    pub rejected: usize,
+    /// Lines that were not valid JSON objects.
+    pub malformed: usize,
+    /// The audit verdict over this file's traces and journal.
+    pub report: AuditReport,
+}
+
+/// One run's worth of records inside an artifact file, keyed by the
+/// optional `"run"` label (unlabelled records share the `""` run).
+#[derive(Default)]
+struct RunRecords {
+    traces: Vec<PacketTrace>,
+    journal: Journal,
+}
+
+/// Parses one JSONL artifact and audits each labelled run inside it against
+/// that run's own journal, merging the verdicts into one per-file report.
+pub fn audit_file(path: &Path, config: &AuditConfig) -> Result<FileAudit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut runs: std::collections::BTreeMap<String, RunRecords> =
+        std::collections::BTreeMap::new();
+    let mut rejected = 0usize;
+    let mut malformed = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(doc) = Json::parse(line) else {
+            malformed += 1;
+            continue;
+        };
+        // BENCH records carry a "record" kind; FLIGHT events a "kind".
+        let record = doc.get("record").and_then(Json::as_str).unwrap_or("");
+        let kind = doc.get("kind").and_then(Json::as_str).unwrap_or("");
+        let label = doc.get("run").and_then(Json::as_str).unwrap_or("");
+        if record == "trace" {
+            match trace_from_json(&doc) {
+                Ok(t) => runs.entry(label.to_string()).or_default().traces.push(t),
+                Err(_) => rejected += 1,
+            }
+        } else if record == "spans" {
+            if let Some(j) = doc.get("journal") {
+                merge_journal(
+                    &mut runs.entry(label.to_string()).or_default().journal,
+                    &journal_from_json(j),
+                );
+            }
+        } else if kind == "journal.instant" {
+            if let (Some(name), Some(at)) = (
+                doc.get("name").and_then(Json::as_str),
+                doc.get("at_ns").and_then(Json::as_u64),
+            ) {
+                let journal = &mut runs.entry(label.to_string()).or_default().journal;
+                journal.instant(name, at);
+            }
+        } else if kind == "journal.span" {
+            if let (Some(name), Some(start)) = (
+                doc.get("name").and_then(Json::as_str),
+                doc.get("at_ns").and_then(Json::as_u64),
+            ) {
+                let journal = &mut runs.entry(label.to_string()).or_default().journal;
+                match doc.get("end_ns").and_then(Json::as_u64) {
+                    Some(end) => journal.span(name, start, end),
+                    None => {
+                        journal.begin(name, start);
+                    }
+                }
+            }
+        }
+    }
+    let mut count = 0usize;
+    let mut report = AuditReport::default();
+    for run in runs.values() {
+        count += run.traces.len();
+        let part = audit(&run.traces, &run.journal, config);
+        report.traces += part.traces;
+        report.writes += part.writes;
+        report.reads += part.reads;
+        report.checked += part.checked;
+        report.suppressed += part.suppressed;
+        report.violations.extend(part.violations);
+    }
+    Ok(FileAudit {
+        path: path.to_path_buf(),
+        traces: count,
+        rejected,
+        malformed,
+        report,
+    })
+}
+
+fn merge_journal(into: &mut Journal, from: &Journal) {
+    for i in from.instants() {
+        into.instant(&i.name, i.at_ns);
+    }
+    for s in from.spans() {
+        match s.end_ns {
+            Some(end) => into.span(&s.name, s.start_ns, end),
+            None => {
+                into.begin(&s.name, s.start_ns);
+            }
+        }
+    }
+}
+
+/// True for file names the auditor considers run artifacts.
+fn is_artifact(name: &str) -> bool {
+    (name.starts_with("BENCH_") || name.starts_with("FLIGHT_")) && name.ends_with(".jsonl")
+}
+
+/// Collects the artifact files under `target` (a directory scanned one level
+/// deep, or a single file taken verbatim), sorted for stable output.
+fn collect_files(target: &Path) -> Vec<PathBuf> {
+    if target.is_file() {
+        return vec![target.to_path_buf()];
+    }
+    let mut files: Vec<PathBuf> = std::fs::read_dir(target)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_file()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(is_artifact)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// The `chain_audit` command-line entry point. Returns the process exit
+/// code: `0` clean, `1` violations found, `2` usage error / nothing to audit.
+pub fn run_cli(args: &[String]) -> i32 {
+    let target = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(t) => PathBuf::from(t),
+        None => {
+            eprintln!("usage: chain_audit <artifact-dir-or-file>");
+            eprintln!("  audits BENCH_*.jsonl / FLIGHT_*.jsonl trace records for");
+            eprintln!("  chain-consistency violations; exits 1 on any violation");
+            return 2;
+        }
+    };
+    let files = collect_files(&target);
+    if files.is_empty() {
+        eprintln!(
+            "chain_audit: no BENCH_*.jsonl or FLIGHT_*.jsonl under {}",
+            target.display()
+        );
+        return 2;
+    }
+    let config = AuditConfig::default();
+    let mut audited_traces = 0usize;
+    let mut all_violations = 0usize;
+    let recorder = FlightRecorder::new(4096);
+    for file in &files {
+        let audit = match audit_file(file, &config) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("chain_audit: {e}");
+                return 2;
+            }
+        };
+        let name = audit
+            .path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?");
+        println!(
+            "{name}: {} traces ({} writes, {} reads), {} checked, {} suppressed, {} violations{}",
+            audit.traces,
+            audit.report.writes,
+            audit.report.reads,
+            audit.report.checked,
+            audit.report.suppressed,
+            audit.report.violations.len(),
+            if audit.rejected > 0 {
+                format!(" [{} future-schema records skipped]", audit.rejected)
+            } else {
+                String::new()
+            },
+        );
+        for violation in &audit.report.violations {
+            println!("  VIOLATION {}", violation.describe());
+            recorder.record(
+                violation.at_ns,
+                "audit.violation",
+                vec![
+                    ("file", Json::str(name)),
+                    ("violation", violation.to_json()),
+                ],
+            );
+        }
+        audited_traces += audit.traces;
+        all_violations += audit.report.violations.len();
+    }
+    if audited_traces == 0 {
+        eprintln!(
+            "chain_audit: {} file(s) scanned but none contained trace records",
+            files.len()
+        );
+        return 2;
+    }
+    if all_violations > 0 {
+        if let Some(path) = recorder.dump("chain_audit") {
+            eprintln!(
+                "chain_audit: {all_violations} violation(s) — structured report at {}",
+                path.display()
+            );
+        } else {
+            eprintln!("chain_audit: {all_violations} violation(s)");
+        }
+        return 1;
+    }
+    println!(
+        "chain_audit: clean — {audited_traces} trace(s) over {} file(s)",
+        files.len()
+    );
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netchain_telemetry::{
+        trace_record_fields, Evidence, EvidenceOp, HopRole, HopStamp, ViolationKind, TRACE_SCHEMA,
+    };
+
+    fn ev(op: EvidenceOp, role: HopRole, ok: bool, fp: u32, seq: u64) -> Evidence {
+        Evidence {
+            op,
+            role,
+            ok,
+            key_fp: fp,
+            session: 0,
+            seq,
+        }
+    }
+
+    fn write_trace(id: u64, fp: u32, t: u64, pre: u64, next: u64) -> PacketTrace {
+        PacketTrace {
+            id,
+            hops: vec![
+                HopStamp {
+                    hop_ip: 1,
+                    at_ns: t,
+                    evidence: Some(ev(EvidenceOp::Write, HopRole::ClientIssue, true, fp, 0)),
+                },
+                HopStamp {
+                    hop_ip: 10,
+                    at_ns: t + 10,
+                    evidence: Some(ev(EvidenceOp::Write, HopRole::Head, pre > 0, fp, pre)),
+                },
+                HopStamp {
+                    hop_ip: 11,
+                    at_ns: t + 20,
+                    evidence: Some(ev(EvidenceOp::Write, HopRole::Tail, pre > 0, fp, pre)),
+                },
+                HopStamp {
+                    hop_ip: 1,
+                    at_ns: t + 30,
+                    evidence: Some(ev(EvidenceOp::Write, HopRole::ClientAck, true, fp, next)),
+                },
+            ],
+        }
+    }
+
+    fn read_trace(id: u64, fp: u32, t: u64, seen: u64) -> PacketTrace {
+        PacketTrace {
+            id,
+            hops: vec![
+                HopStamp {
+                    hop_ip: 1,
+                    at_ns: t,
+                    evidence: Some(ev(EvidenceOp::Read, HopRole::ClientIssue, true, fp, 0)),
+                },
+                HopStamp {
+                    hop_ip: 11,
+                    at_ns: t + 5,
+                    evidence: Some(ev(EvidenceOp::Read, HopRole::Tail, true, fp, seen)),
+                },
+                HopStamp {
+                    hop_ip: 1,
+                    at_ns: t + 10,
+                    evidence: Some(ev(EvidenceOp::Read, HopRole::ClientAck, true, fp, seen)),
+                },
+            ],
+        }
+    }
+
+    fn record_line(kind: &str, fields: Vec<(&str, Json)>) -> String {
+        let mut all = vec![("record", Json::str(kind))];
+        all.extend(fields);
+        Json::obj(all).render()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("netchain-chain-audit-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn clean_artifact_audits_clean_and_dirty_artifact_trips() {
+        let dir = tmp_dir("clean");
+        let mut lines = vec![record_line(
+            "trace",
+            trace_record_fields(&write_trace(1, 7, 1_000, 1, 2)),
+        )];
+        lines.push(record_line(
+            "trace",
+            trace_record_fields(&read_trace(2, 7, 3_000, 2)),
+        ));
+        let clean = dir.join("BENCH_clean.jsonl");
+        std::fs::write(&clean, lines.join("\n") + "\n").unwrap();
+        let audit = audit_file(&clean, &AuditConfig::default()).unwrap();
+        assert_eq!(audit.traces, 2);
+        assert!(audit.report.is_clean(), "{:?}", audit.report.violations);
+        assert_eq!(run_cli(&[dir.to_string_lossy().into_owned()]), 0);
+
+        // A read that returns the pre-write version after the ack: stale.
+        lines.push(record_line(
+            "trace",
+            trace_record_fields(&read_trace(3, 7, 5_000, 1)),
+        ));
+        std::fs::write(&clean, lines.join("\n") + "\n").unwrap();
+        let audit = audit_file(&clean, &AuditConfig::default()).unwrap();
+        // The seeded fault trips the freshness check (and, because the same
+        // tail register had already served version 2, the per-replica
+        // monotonicity check too — both are real).
+        assert!(audit
+            .report
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::StaleRead));
+        // Point the violation dump at the scratch dir, not the repo.
+        std::env::set_var("NETCHAIN_ARTIFACT_DIR", &dir);
+        let code = run_cli(&[dir.to_string_lossy().into_owned()]);
+        std::env::remove_var("NETCHAIN_ARTIFACT_DIR");
+        assert_eq!(code, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_spans_suppress_and_future_schemas_are_counted() {
+        let dir = tmp_dir("journal");
+        // Same stale read as above, but a repair span covering it: suppressed.
+        let mut journal = Journal::new();
+        journal.span("repair", 2_000, 6_000);
+        let lines = [
+            record_line(
+                "trace",
+                trace_record_fields(&write_trace(1, 7, 1_000, 1, 2)),
+            ),
+            record_line("trace", trace_record_fields(&read_trace(3, 7, 5_000, 1))),
+            record_line("spans", vec![("journal", Json::from(&journal))]),
+            // A future schema version: skipped and counted, never fatal.
+            Json::obj(vec![
+                ("record", Json::str("trace")),
+                ("schema", Json::U64(TRACE_SCHEMA + 1)),
+                ("id", Json::U64(9)),
+                ("hops", Json::Arr(vec![])),
+            ])
+            .render(),
+        ];
+        let path = dir.join("BENCH_spans.jsonl");
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let audit = audit_file(&path, &AuditConfig::default()).unwrap();
+        assert!(audit.report.is_clean(), "{:?}", audit.report.violations);
+        assert!(audit.report.suppressed > 0);
+        assert_eq!(audit.rejected, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_journal_events_feed_the_same_suppression() {
+        let dir = tmp_dir("flight");
+        let bench = [
+            record_line(
+                "trace",
+                trace_record_fields(&write_trace(1, 7, 1_000, 1, 2)),
+            ),
+            record_line("trace", trace_record_fields(&read_trace(3, 7, 5_000, 1))),
+            Json::obj(vec![
+                ("kind", Json::str("journal.span")),
+                ("name", Json::str("repair")),
+                ("at_ns", Json::U64(2_000)),
+                ("end_ns", Json::U64(6_000)),
+            ])
+            .render(),
+        ];
+        let path = dir.join("FLIGHT_run.jsonl");
+        std::fs::write(&path, bench.join("\n") + "\n").unwrap();
+        let audit = audit_file(&path, &AuditConfig::default()).unwrap();
+        assert!(audit.report.is_clean(), "{:?}", audit.report.violations);
+        assert!(audit.report.suppressed > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_labels_partition_one_file_into_independent_audits() {
+        let dir = tmp_dir("runs");
+        // Two runs in one artifact, as failover_live emits: each restarts
+        // versions from scratch on the same keys and hop IPs. Mixed together
+        // the second run's low versions look like regressions/stale reads;
+        // partitioned by label both are clean.
+        let mut labelled = Vec::new();
+        for label in ["a", "b"] {
+            for line in [
+                trace_record_fields(&write_trace(1, 7, 1_000, 1, 2)),
+                trace_record_fields(&read_trace(2, 7, 3_000, 2)),
+            ] {
+                let mut fields = line;
+                fields.push(("run", Json::str(label)));
+                labelled.push(record_line("trace", fields));
+            }
+        }
+        let path = dir.join("BENCH_runs.jsonl");
+        std::fs::write(&path, labelled.join("\n") + "\n").unwrap();
+        let audit = audit_file(&path, &AuditConfig::default()).unwrap();
+        assert_eq!(audit.traces, 4);
+        assert!(audit.report.is_clean(), "{:?}", audit.report.violations);
+
+        // The same records without labels collapse into one run and the
+        // duplicated trace ids / restarted histories are (rightly) judged
+        // as one inconsistent history — the partitioning is load-bearing.
+        let unlabelled: Vec<String> = [
+            trace_record_fields(&write_trace(1, 7, 1_000, 1, 2)),
+            trace_record_fields(&read_trace(2, 7, 3_000, 2)),
+            trace_record_fields(&write_trace(1, 7, 11_000, 0, 1)),
+            trace_record_fields(&read_trace(2, 7, 13_000, 1)),
+        ]
+        .into_iter()
+        .map(|fields| record_line("trace", fields))
+        .collect();
+        std::fs::write(&path, unlabelled.join("\n") + "\n").unwrap();
+        let audit = audit_file(&path, &AuditConfig::default()).unwrap();
+        assert!(!audit.report.is_clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_targets_exit_with_usage_code() {
+        let dir = tmp_dir("empty");
+        assert_eq!(run_cli(&[]), 2);
+        assert_eq!(run_cli(&[dir.to_string_lossy().into_owned()]), 2);
+        // Files with no trace records at all: also "nothing to audit".
+        std::fs::write(dir.join("BENCH_x.jsonl"), "{\"record\":\"summary\"}\n").unwrap();
+        assert_eq!(run_cli(&[dir.to_string_lossy().into_owned()]), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

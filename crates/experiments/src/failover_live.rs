@@ -14,8 +14,10 @@
 
 use crate::series::Series;
 use netchain_fabric::{FabricConfig, WorkloadSpec};
-use netchain_livectl::{run_live_controlled, FaultScript, LiveConfig, LiveReport};
-use netchain_telemetry::{ArtifactWriter, FlightRecorder, Json, Quantiles, TraceConfig};
+use netchain_livectl::{run_live_controlled, FaultScript, LiveAnomaly, LiveConfig, LiveReport};
+use netchain_telemetry::{
+    trace_record_fields, ArtifactWriter, FlightRecorder, Json, Quantiles, TraceConfig,
+};
 use netchain_wire::Ipv4Addr;
 use std::time::Duration;
 
@@ -236,11 +238,16 @@ fn export_run(
             ("quantiles", Json::from(summary.latency)),
         ],
     );
+    // One artifact file holds several runs (one per group count), each with
+    // its own timebase and version history; the `run` label on spans and
+    // trace records lets `chain_audit` keep them apart.
+    let run_label = format!("{groups}-vgroups");
     if let Some(timeline) = &report.timeline {
         artifact.record(
             "spans",
             vec![
                 ("groups", Json::U64(u64::from(groups))),
+                ("run", Json::str(&run_label)),
                 ("journal", Json::from(&timeline.journal())),
             ],
         );
@@ -252,6 +259,13 @@ fn export_run(
             ("summary", Json::from(&report.trace_summary())),
         ],
     );
+    // Full per-trace evidence records, so `chain_audit` can replay the run's
+    // consistency story offline from the artifact alone.
+    for trace in &report.traces {
+        let mut fields = trace_record_fields(trace);
+        fields.push(("run", Json::str(&run_label)));
+        artifact.record("trace", fields);
+    }
 }
 
 /// Checks one smoke/structural invariant; on violation, dumps a flight
@@ -272,8 +286,12 @@ fn check_or_dump(ok: bool, msg: &str, groups: u32, report: &LiveReport) {
         recorder.record(i as u64 * slice_ns, "slice", vec![("ops", Json::U64(n))]);
     }
     for anomaly in &report.anomalies {
+        let at_ns = match anomaly {
+            LiveAnomaly::Gray(gray) => gray.slice * slice_ns,
+            LiveAnomaly::Audit(violation) => violation.at_ns,
+        };
         recorder.record(
-            anomaly.slice * slice_ns,
+            at_ns,
             "anomaly",
             vec![("detail", Json::str(anomaly.describe()))],
         );

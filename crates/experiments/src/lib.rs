@@ -35,6 +35,7 @@
 pub mod bench_gate;
 pub mod calib;
 pub mod capacity;
+pub mod chain_audit;
 pub mod fabric_scale;
 pub mod failover_live;
 pub mod fig10;

@@ -27,11 +27,23 @@ use netchain_net::{
     OpenLoopReport,
 };
 use netchain_switch::PipelineConfig;
-use netchain_telemetry::{ArtifactWriter, Json, Quantiles};
+use netchain_telemetry::{
+    merge_traces, trace_record_fields, ArtifactWriter, Json, PacketTrace, Quantiles, TraceConfig,
+};
 use netchain_wire::{Ipv4Addr, Key, Value};
 use std::time::Duration;
 
 use netchain_core::HashRing;
+
+/// Trace sampling used by the latency runs: 1 in 2^6 queries carries in-band
+/// evidence stamps end to end (client issue → shard register read → client
+/// ack), enough for `chain_audit` to replay the run offline. Saturation runs
+/// stay untraced — they measure capacity, not consistency.
+const NET_TRACE_SAMPLING: TraceConfig = TraceConfig {
+    enabled: true,
+    sample_shift: 6,
+    max_traces: 4096,
+};
 
 /// Shape of one net-scale measurement.
 #[derive(Debug, Clone, Copy)]
@@ -100,6 +112,9 @@ pub struct ModeRun {
     /// factor the burst path actually achieved (1.0 by construction for the
     /// single-packet path).
     pub batch_factor: f64,
+    /// Merged client + worker trace fragments (empty unless the run was
+    /// traced): full per-hop evidence paths on the dataplane's shared clock.
+    pub traces: Vec<PacketTrace>,
 }
 
 fn sum_io(stats: &[IoStats]) -> IoStats {
@@ -124,12 +139,25 @@ fn sum_io(stats: &[IoStats]) -> IoStats {
 /// read-heavy mix (80% read / 15% write / 5% CAS) for the configured
 /// duration, and returns the measured run.
 pub fn run_mode(params: NetScaleParams, io_mode: IoMode, rate: f64) -> ModeRun {
+    run_mode_traced(params, io_mode, rate, None)
+}
+
+/// [`run_mode`] with optional in-band trace sampling: workers and generator
+/// clients stamp evidence against the dataplane's shared clock, and the
+/// merged end-to-end traces come back in [`ModeRun::traces`].
+pub fn run_mode_traced(
+    params: NetScaleParams,
+    io_mode: IoMode,
+    rate: f64,
+    trace: Option<TraceConfig>,
+) -> ModeRun {
     let ring = HashRing::new((0..4).map(Ipv4Addr::for_switch).collect(), 8, 3, 7);
     let populate: Vec<(Key, Value)> = (0..params.num_keys)
         .map(|k| (Key::from_u64(k), Value::from_u64(0)))
         .collect();
     let config = NetConfig {
         io_mode,
+        trace,
         ..NetConfig::new(ring, params.shards, PipelineConfig::tiny(1 << 16))
     };
     let plane = NetDataplane::start(config, &populate).expect("start dataplane");
@@ -137,7 +165,8 @@ pub fn run_mode(params: NetScaleParams, io_mode: IoMode, rate: f64) -> ModeRun {
     let spec = WorkloadSpec::mixed(params.num_keys, u64::MAX, 80, 15);
     let mut open_config = OpenLoopConfig::new(params.agents, params.threads, rate, params.duration);
     open_config.drain_grace = Duration::from_secs(2);
-    let open = run_open_loop(&plane, spec, open_config);
+    open_config.trace = trace;
+    let mut open = run_open_loop(&plane, spec, open_config);
     let report = plane.shutdown();
     let io = sum_io(&report.io);
     let batch_factor = if io.recv_calls > 0 {
@@ -145,11 +174,17 @@ pub fn run_mode(params: NetScaleParams, io_mode: IoMode, rate: f64) -> ModeRun {
     } else {
         0.0
     };
+    // Client fragments (issue/ack) and worker fragments (switch hops) carry
+    // the same trace ids; merging yields whole per-query paths.
+    let mut fragments = std::mem::take(&mut open.traces);
+    fragments.extend(report.traces);
+    let traces = merge_traces(fragments);
     ModeRun {
         io_mode,
         open,
         io,
         batch_factor,
+        traces,
     }
 }
 
@@ -255,10 +290,20 @@ pub fn run_cli(smoke: bool) {
         if smoke { " (smoke)" } else { "" },
     );
 
-    println!("Latency runs (open loop, coordinated-omission-free):");
-    let lat_burst = run_mode(params, IoMode::Burst, params.latency_rate);
+    println!("Latency runs (open loop, coordinated-omission-free, traced):");
+    let lat_burst = run_mode_traced(
+        params,
+        IoMode::Burst,
+        params.latency_rate,
+        Some(NET_TRACE_SAMPLING),
+    );
     print_run("burst (recvmmsg/sendmmsg)", &lat_burst);
-    let lat_single = run_mode(params, IoMode::Single, params.latency_rate);
+    let lat_single = run_mode_traced(
+        params,
+        IoMode::Single,
+        params.latency_rate,
+        Some(NET_TRACE_SAMPLING),
+    );
     print_run("single (recv_from/send_to)", &lat_single);
 
     println!("Saturation ladder (capacity = best achieved rate per mode):");
@@ -307,6 +352,20 @@ pub fn run_cli(smoke: bool) {
         .chain(&single_runs)
     {
         artifact.record("run", vec![("data", run_json(run))]);
+    }
+    // Per-trace evidence records from the traced latency runs, for offline
+    // consistency auditing (`chain_audit`) of the real-socket path. The two
+    // runs are separate dataplanes with separate timebases and version
+    // histories; the `run` label keeps the auditor from mixing them.
+    for (label, run) in [
+        ("latency-burst", &lat_burst),
+        ("latency-single", &lat_single),
+    ] {
+        for trace in &run.traces {
+            let mut fields = trace_record_fields(trace);
+            fields.push(("run", Json::str(label)));
+            artifact.record("trace", fields);
+        }
     }
 
     let summary = Json::obj(vec![
@@ -386,5 +445,25 @@ mod tests {
         // The single-packet path is one datagram per call by construction.
         assert!((single.batch_factor - 1.0).abs() < 1e-9);
         assert!(burst.batch_factor >= 1.0);
+    }
+
+    #[test]
+    fn traced_latency_run_yields_clean_auditable_traces() {
+        let mut params = NetScaleParams::smoke();
+        params.duration = Duration::from_millis(100);
+        let run = run_mode_traced(
+            params,
+            IoMode::Burst,
+            params.latency_rate,
+            Some(NET_TRACE_SAMPLING),
+        );
+        assert!(!run.traces.is_empty(), "sampled traces were recorded");
+        // The merged traces must pass the full offline audit: no fault was
+        // injected, so any violation here is a bug in the stamps, the merge,
+        // or the dataplane itself.
+        let journal = netchain_telemetry::Journal::new();
+        let report = netchain_telemetry::audit(&run.traces, &journal, &Default::default());
+        assert!(report.checked > 0, "the auditor judged real operations");
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
     }
 }

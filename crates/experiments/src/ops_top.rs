@@ -23,7 +23,7 @@ use netchain_fabric::{FabricConfig, WorkloadSpec};
 use netchain_livectl::{run_live_observed, LiveConfig};
 use netchain_net::{run_open_loop, NetConfig, NetDataplane, OpenLoopConfig};
 use netchain_switch::PipelineConfig;
-use netchain_telemetry::{SliceCounters, WindowChannel, WindowRegistry};
+use netchain_telemetry::{Json, SliceCounters, WindowChannel, WindowRegistry};
 use netchain_wire::{
     ChainList, Ipv4Addr, Key, NetChainPacket, OpCode, StatSnapshot, Value, MAX_FRAME_LEN,
     STAT_LAT_BUCKETS,
@@ -96,6 +96,34 @@ pub fn net_row(label: &str, delta: &StatSnapshot, interval: Duration) -> String 
     )
 }
 
+/// The same probed-switch row as [`net_row`], as a machine-readable JSON
+/// object (`--json` mode): rates, gauges, and the raw latency-bucket deltas.
+pub fn net_row_json(label: &str, delta: &StatSnapshot, interval: Duration) -> Json {
+    let secs = interval.as_secs_f64().max(1e-9);
+    Json::obj(vec![
+        ("target", Json::str(label)),
+        ("ops_per_sec", Json::F64(delta.ops() as f64 / secs)),
+        (
+            "forwards_per_sec",
+            Json::F64(delta.chain_forwards as f64 / secs),
+        ),
+        ("replies_per_sec", Json::F64(delta.replies as f64 / secs)),
+        ("queue_depth", Json::U64(u64::from(delta.queue_depth))),
+        ("queue_cap", Json::U64(u64::from(delta.queue_cap))),
+        ("store_size", Json::U64(u64::from(delta.store_size))),
+        (
+            "lat_buckets",
+            Json::Arr(
+                delta
+                    .lat_buckets
+                    .iter()
+                    .map(|&b| Json::U64(u64::from(b)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// One dashboard row for a fabric shard from its rolling-window series
 /// (oldest slice first): per-slice ops sparkline plus the latest slice's
 /// numbers.
@@ -113,6 +141,34 @@ pub fn fabric_row(shard: usize, series: &[SliceCounters], slice_len: Duration) -
         last[WindowChannel::QueueDepth as usize],
         last[WindowChannel::Blocked as usize],
     )
+}
+
+/// The same shard row as [`fabric_row`] in JSON: the rolling per-slice ops
+/// series plus the latest slice's gauges.
+pub fn fabric_row_json(shard: usize, series: &[SliceCounters], slice_len: Duration) -> Json {
+    let last = series.last().copied().unwrap_or_default();
+    let secs = slice_len.as_secs_f64().max(1e-9);
+    Json::obj(vec![
+        ("shard", Json::U64(shard as u64)),
+        (
+            "slice_ops",
+            Json::Arr(
+                series
+                    .iter()
+                    .map(|c| Json::U64(c[WindowChannel::Ops as usize]))
+                    .collect(),
+            ),
+        ),
+        (
+            "ops_per_sec",
+            Json::F64(last[WindowChannel::Ops as usize] as f64 / secs),
+        ),
+        (
+            "queue_depth",
+            Json::U64(last[WindowChannel::QueueDepth as usize]),
+        ),
+        ("blocked", Json::U64(last[WindowChannel::Blocked as usize])),
+    ])
 }
 
 /// Sends one in-band stat probe for `target` through the worker socket at
@@ -159,8 +215,9 @@ fn clear_screen(enabled: bool) {
 }
 
 /// The net-mode dashboard: a 2-shard socket dataplane under open-loop load,
-/// probed in band every `interval` for `ticks` refreshes.
-pub fn run_net(ticks: usize, interval: Duration, clear: bool) {
+/// probed in band every `interval` for `ticks` refreshes. With `json`, each
+/// tick prints one machine-readable JSON object instead of the text rows.
+pub fn run_net(ticks: usize, interval: Duration, clear: bool, json: bool) {
     const SWITCHES: u32 = 4;
     const NUM_KEYS: u64 = 512;
     let ring = HashRing::new((0..SWITCHES).map(Ipv4Addr::for_switch).collect(), 8, 3, 7);
@@ -194,21 +251,41 @@ pub fn run_net(ticks: usize, interval: Duration, clear: bool) {
         for tick in 0..ticks {
             std::thread::sleep(interval);
             let mut rows = Vec::new();
+            let mut json_rows = Vec::new();
             for (s, &addr) in shard_addrs.iter().enumerate() {
                 for sw in 0..SWITCHES {
                     let target = Ipv4Addr::for_switch(sw);
+                    let label = format!("shard{s}/{target}");
                     let Some(snap) = probe(&socket, addr, prober_ip, target, &mut request_id)
                     else {
-                        rows.push(format!("shard{s}/{target}   (no probe reply)"));
+                        rows.push(format!("{label}   (no probe reply)"));
+                        json_rows.push(Json::obj(vec![
+                            ("target", Json::str(&label)),
+                            ("probe_lost", Json::Bool(true)),
+                        ]));
                         continue;
                     };
                     let delta = match &prev[s][sw as usize] {
                         Some(p) => stat_delta(p, &snap),
                         None => snap,
                     };
-                    rows.push(net_row(&format!("shard{s}/{target}"), &delta, interval));
+                    rows.push(net_row(&label, &delta, interval));
+                    json_rows.push(net_row_json(&label, &delta, interval));
                     prev[s][sw as usize] = Some(snap);
                 }
+            }
+            if json {
+                println!(
+                    "{}",
+                    Json::obj(vec![
+                        ("backend", Json::str("net")),
+                        ("tick", Json::U64(tick as u64 + 1)),
+                        ("interval_ms", Json::U64(interval.as_millis() as u64)),
+                        ("rows", Json::Arr(json_rows)),
+                    ])
+                    .render()
+                );
+                continue;
             }
             clear_screen(clear);
             println!(
@@ -225,18 +302,26 @@ pub fn run_net(ticks: usize, interval: Duration, clear: bool) {
         generator.join().expect("generator panicked")
     });
     let report = plane.shutdown();
-    println!(
+    // In JSON mode stdout carries only JSON documents; the run summary goes
+    // to stderr so pipelines can parse the output unfiltered.
+    let summary = format!(
         "generator: offered {:.0} ops/s, achieved {:.0}; dataplane in/out {}/{} datagrams",
         open.offered_rate,
         open.achieved_rate,
         report.io.iter().map(|io| io.datagrams_in).sum::<u64>(),
         report.io.iter().map(|io| io.datagrams_out).sum::<u64>(),
     );
+    if json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
 }
 
 /// The fabric-mode dashboard: a live-controlled fabric run observed through
-/// a shared [`WindowRegistry`], polled every `interval`.
-pub fn run_fabric(ticks: usize, interval: Duration, clear: bool) {
+/// a shared [`WindowRegistry`], polled every `interval`. With `json`, each
+/// tick prints one machine-readable JSON object instead of the text rows.
+pub fn run_fabric(ticks: usize, interval: Duration, clear: bool, json: bool) {
     const SHARDS: usize = 2;
     let fabric = FabricConfig {
         num_switches: 4,
@@ -261,6 +346,25 @@ pub fn run_fabric(ticks: usize, interval: Duration, clear: bool) {
         // Render up to the last *completed* slice; the current one is still
         // filling and would always read as a dip.
         let upto = poll.slice_of(t0.elapsed()).saturating_sub(1);
+        if json {
+            let rows: Vec<Json> = poll
+                .series_across_shards(upto, SPARK_SLICES)
+                .iter()
+                .enumerate()
+                .map(|(shard, series)| fabric_row_json(shard, series, slice_len))
+                .collect();
+            println!(
+                "{}",
+                Json::obj(vec![
+                    ("backend", Json::str("fabric")),
+                    ("tick", Json::U64(tick as u64 + 1)),
+                    ("slice_ms", Json::U64(slice_len.as_millis() as u64)),
+                    ("rows", Json::Arr(rows)),
+                ])
+                .render()
+            );
+            continue;
+        }
         clear_screen(clear);
         println!(
             "ops_top (fabric) — tick {}/{} — {SPARK_SLICES} slices of {:?} per row",
@@ -278,17 +382,26 @@ pub fn run_fabric(ticks: usize, interval: Duration, clear: bool) {
         println!();
     }
     let report = runner.join().expect("live run panicked");
-    println!(
+    let summary = format!(
         "run: {} ops at {:.0} ops/s, {} anomalies",
         report.completed_ops,
         report.ops_per_sec,
         report.anomalies.len(),
     );
+    if json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
 }
 
 /// Command-line entry point shared by the experiment binary and the
 /// workspace-root alias: `ops_top [--net|--fabric] [--once | --ticks N]
-/// [--interval-ms N] [--no-clear]`.
+/// [--interval-ms N] [--no-clear] [--json]`.
+///
+/// `--json` implies a single tick unless `--ticks` is given, never clears
+/// the screen, and prints one JSON document per tick on stdout (the run
+/// summary moves to stderr) — the machine-readable one-shot mode.
 pub fn run_cli(args: &[String]) {
     let has = |flag: &str| args.iter().any(|a| a == flag);
     let value = |flag: &str| {
@@ -297,17 +410,18 @@ pub fn run_cli(args: &[String]) {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse::<u64>().ok())
     };
-    let ticks = if has("--once") {
+    let json = has("--json");
+    let ticks = if has("--once") || (json && value("--ticks").is_none()) {
         1
     } else {
         value("--ticks").unwrap_or(10) as usize
     };
     let interval = Duration::from_millis(value("--interval-ms").unwrap_or(500));
-    let clear = !has("--no-clear") && !has("--once");
+    let clear = !has("--no-clear") && !has("--once") && !json;
     if has("--fabric") {
-        run_fabric(ticks, interval, clear);
+        run_fabric(ticks, interval, clear, json);
     } else {
-        run_net(ticks, interval, clear);
+        run_net(ticks, interval, clear, json);
     }
 }
 
@@ -357,6 +471,93 @@ mod tests {
         // A counter that went backwards (restarted worker) saturates at 0
         // instead of wrapping.
         assert_eq!(stat_delta(&cur, &prev).reads, 0);
+    }
+
+    #[test]
+    fn stat_delta_clamps_every_counter_on_reset() {
+        // A restarted worker reports counters far below the previous probe.
+        // Every counter and every latency bucket must clamp to zero — an
+        // underflowing wrap would render as a ~u64::MAX ops/s spike.
+        let before_restart = StatSnapshot {
+            reads: 1_000,
+            writes: 900,
+            cas_ops: 800,
+            deletes: 700,
+            replies: 600,
+            chain_forwards: 500,
+            stale_drops: 400,
+            misses: 300,
+            blocked: 200,
+            packets_seen: 5_000,
+            lat_buckets: [9; STAT_LAT_BUCKETS],
+            ..Default::default()
+        };
+        let after_restart = StatSnapshot {
+            reads: 3,
+            writes: 2,
+            queue_depth: 1,
+            queue_cap: 32,
+            store_size: 7,
+            lat_buckets: [1; STAT_LAT_BUCKETS],
+            ..Default::default()
+        };
+        let d = stat_delta(&before_restart, &after_restart);
+        assert_eq!(d.reads, 0);
+        assert_eq!(d.writes, 0);
+        assert_eq!(d.cas_ops, 0);
+        assert_eq!(d.deletes, 0);
+        assert_eq!(d.replies, 0);
+        assert_eq!(d.chain_forwards, 0);
+        assert_eq!(d.stale_drops, 0);
+        assert_eq!(d.misses, 0);
+        assert_eq!(d.blocked, 0);
+        assert_eq!(d.packets_seen, 0);
+        assert_eq!(d.lat_buckets, [0; STAT_LAT_BUCKETS]);
+        // Gauges always reflect the newer snapshot.
+        assert_eq!(d.queue_depth, 1);
+        assert_eq!(d.queue_cap, 32);
+        assert_eq!(d.store_size, 7);
+        // The rendered row stays finite and spike-free.
+        let row = net_row("shard0/sw0", &d, Duration::from_millis(500));
+        assert!(row.contains("0 ops/s"), "{row}");
+    }
+
+    #[test]
+    fn json_rows_carry_the_same_numbers_as_text_rows() {
+        let delta = StatSnapshot {
+            reads: 500,
+            writes: 100,
+            chain_forwards: 250,
+            replies: 550,
+            queue_depth: 4,
+            queue_cap: 32,
+            store_size: 512,
+            lat_buckets: [10, 20, 5, 0, 0, 0, 0, 0],
+            ..Default::default()
+        };
+        let doc = net_row_json("shard0/sw1", &delta, Duration::from_millis(500));
+        assert_eq!(doc.get("target").and_then(Json::as_str), Some("shard0/sw1"));
+        assert_eq!(doc.get("ops_per_sec").and_then(Json::as_f64), Some(1200.0));
+        assert_eq!(doc.get("queue_depth").and_then(Json::as_f64), Some(4.0));
+        // The render/parse round trip survives (what `--json` consumers do).
+        let parsed = Json::parse(&doc.render()).unwrap();
+        assert_eq!(
+            parsed.get("replies_per_sec").and_then(Json::as_f64),
+            Some(1100.0)
+        );
+
+        let mut series = vec![SliceCounters::default(); 3];
+        series[0][WindowChannel::Ops as usize] = 10;
+        series[2][WindowChannel::Ops as usize] = 20;
+        series[2][WindowChannel::QueueDepth as usize] = 6;
+        let doc = fabric_row_json(1, &series, Duration::from_millis(20));
+        assert_eq!(doc.get("shard").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("ops_per_sec").and_then(Json::as_f64), Some(1000.0));
+        assert_eq!(doc.get("queue_depth").and_then(Json::as_f64), Some(6.0));
+        let Some(Json::Arr(ops)) = doc.get("slice_ops") else {
+            panic!("slice_ops is an array");
+        };
+        assert_eq!(ops.len(), 3);
     }
 
     #[test]

@@ -12,7 +12,8 @@ use crate::stats::ClientReport;
 use netchain_core::{AgentConfig, AgentCore, ChainDirectory, HashRing, KvOp};
 use netchain_sim::SimTime;
 use netchain_telemetry::{
-    trace_id, HistSnapshot, LatencyHistogram, PacketTrace, TraceConfig, TraceSink,
+    key_fingerprint, trace_id, Evidence, HistSnapshot, HopRole, LatencyHistogram, PacketTrace,
+    TraceConfig, TraceSink,
 };
 use netchain_wire::{Ipv4Addr, Key, NetChainPacket, PacketView, QueryStatus, Value};
 use rand::{Rng, SeedableRng};
@@ -180,6 +181,17 @@ impl ClientState {
             .unwrap_or_default()
     }
 
+    /// Takes only the traces *completed* since the last call, leaving open
+    /// ones accumulating. This is the live feed for the shadow auditor: a
+    /// completed client fragment carries the issue and ack evidence the
+    /// online freshness check needs.
+    pub fn take_finished_traces(&mut self) -> Vec<PacketTrace> {
+        self.tracer
+            .as_mut()
+            .map(TraceSink::take_finished)
+            .unwrap_or_default()
+    }
+
     /// Snapshot of the issue→reply latency distribution.
     pub fn latency_snapshot(&self) -> HistSnapshot {
         self.latency.snapshot()
@@ -280,7 +292,25 @@ impl ClientState {
         self.report.issued += 1;
         let ip = self.ip_u32();
         if let Some(tracer) = &mut self.tracer {
-            tracer.stamp(trace_id(ip, request_id), ip, now.as_nanos());
+            let id = trace_id(ip, request_id);
+            if tracer.samples(id) {
+                match netchain_core::evidence_op(pkt.netchain.op) {
+                    Some(op) => tracer.stamp_with(
+                        id,
+                        ip,
+                        now.as_nanos(),
+                        Evidence {
+                            op,
+                            role: HopRole::ClientIssue,
+                            ok: true,
+                            key_fp: key_fingerprint(pkt.netchain.key.stable_hash()),
+                            session: 0,
+                            seq: 0,
+                        },
+                    ),
+                    None => tracer.stamp(id, ip, now.as_nanos()),
+                }
+            }
         }
         pkt
     }
@@ -329,7 +359,24 @@ impl ClientState {
                 let ip = self.ip_u32();
                 if let Some(tracer) = &mut self.tracer {
                     let id = trace_id(ip, done.request_id);
-                    tracer.stamp(id, ip, now.as_nanos());
+                    if tracer.samples(id) {
+                        match netchain_core::evidence_op(pkt.netchain.op) {
+                            Some(op) => tracer.stamp_with(
+                                id,
+                                ip,
+                                now.as_nanos(),
+                                Evidence {
+                                    op,
+                                    role: HopRole::ClientAck,
+                                    ok: pkt.netchain.status == QueryStatus::Ok,
+                                    key_fp: key_fingerprint(pkt.netchain.key.stable_hash()),
+                                    session: u64::from(pkt.netchain.session),
+                                    seq: pkt.netchain.seq,
+                                },
+                            ),
+                            None => tracer.stamp(id, ip, now.as_nanos()),
+                        }
+                    }
                     tracer.finish(id);
                 }
                 true

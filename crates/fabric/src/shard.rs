@@ -56,13 +56,16 @@
 //! last per-packet allocation on the write path (reads never allocated).
 
 use crate::stats::ShardStats;
+use netchain_core::query_evidence;
 use netchain_core::HashRing;
 use netchain_switch::kv::ExportedEntry;
 use netchain_switch::{
     stable_hash_batch, DropReason, FailoverRule, NetChainSwitch, PipelineConfig, ProbeGauges,
     RuleScope, StagedOutcome, StagedPacket, SwitchAction,
 };
-use netchain_telemetry::{trace_id, PacketTrace, TraceConfig, TraceSink};
+use netchain_telemetry::{
+    key_fingerprint, trace_id, Evidence, EvidenceOp, HopRole, PacketTrace, TraceConfig, TraceSink,
+};
 use netchain_wire::{
     BatchEncoder, BatchView, Ipv4Addr, Key, NetChainPacket, OpCode, PacketPool, PacketView, Value,
     BATCH_WIDTH,
@@ -473,6 +476,7 @@ impl Shard {
                         StagedPacket::FastRead {
                             frame: bv.frame(i),
                             slot,
+                            key: batch.key(i),
                             client: Ipv4Addr(batch.src(i).to_be_bytes()),
                             request_id: batch.request_id(i),
                         },
@@ -498,18 +502,64 @@ impl Shard {
                 };
                 if let (Some(tracer), Some(hop)) = (&mut self.tracer, target) {
                     // One clock read per wave group, as on the scalar path.
+                    // Evidence (a pre-execution register read) is gathered
+                    // only for packets the sink actually samples, so the
+                    // common unsampled packet costs one hash + one branch.
                     let hop_ip = u32::from_be_bytes(hop.0);
                     let at_ns = tracer.t0.elapsed().as_nanos() as u64;
+                    let sw = self.switches.get(&hop);
                     for item in &group {
-                        let (src, rid) = match item {
+                        match item {
                             StagedPacket::FastRead {
-                                client, request_id, ..
-                            } => (u32::from_be_bytes(client.0), *request_id),
-                            StagedPacket::Owned(p) => {
-                                (u32::from_be_bytes(p.ip.src.0), p.netchain.request_id)
+                                slot,
+                                key,
+                                client,
+                                request_id,
+                                ..
+                            } => {
+                                let id = trace_id(u32::from_be_bytes(client.0), *request_id);
+                                if !tracer.sink.samples(id) {
+                                    continue;
+                                }
+                                // Fast-lane eligibility pinned hop == dst, so
+                                // the stage-3 slot is this switch's.
+                                match sw {
+                                    Some(sw) => {
+                                        let kv = sw.kv();
+                                        let (ok, (session, seq)) =
+                                            match slot.filter(|&s| kv.is_valid(s)) {
+                                                Some(s) => (true, kv.ordering(s)),
+                                                None => (false, (0, 0)),
+                                            };
+                                        tracer.sink.stamp_with(
+                                            id,
+                                            hop_ip,
+                                            at_ns,
+                                            Evidence {
+                                                op: EvidenceOp::Read,
+                                                role: HopRole::Tail,
+                                                ok,
+                                                key_fp: key_fingerprint(key.stable_hash()),
+                                                session,
+                                                seq,
+                                            },
+                                        );
+                                    }
+                                    None => tracer.sink.stamp(id, hop_ip, at_ns),
+                                }
                             }
-                        };
-                        tracer.sink.stamp(trace_id(src, rid), hop_ip, at_ns);
+                            StagedPacket::Owned(p) => {
+                                let id =
+                                    trace_id(u32::from_be_bytes(p.ip.src.0), p.netchain.request_id);
+                                if !tracer.sink.samples(id) {
+                                    continue;
+                                }
+                                match sw.and_then(|sw| query_evidence(sw, &p.netchain)) {
+                                    Some(ev) => tracer.sink.stamp_with(id, hop_ip, at_ns, ev),
+                                    None => tracer.sink.stamp(id, hop_ip, at_ns),
+                                }
+                            }
+                        }
                     }
                 }
                 match target.and_then(|ip| self.switches.get_mut(&ip)) {
@@ -629,13 +679,20 @@ impl Shard {
                     Some(dst)
                 };
                 if let (Some(tracer), Some(hop)) = (&mut self.tracer, target) {
-                    // One clock read per wave group; the stamp itself is a
-                    // no-op for unsampled trace IDs.
+                    // One clock read per wave group; evidence is gathered
+                    // only for sampled trace IDs.
                     let hop_ip = u32::from_be_bytes(hop.0);
                     let at_ns = tracer.t0.elapsed().as_nanos() as u64;
+                    let sw = self.switches.get(&hop);
                     for p in &self.group {
                         let id = trace_id(u32::from_be_bytes(p.ip.src.0), p.netchain.request_id);
-                        tracer.sink.stamp(id, hop_ip, at_ns);
+                        if !tracer.sink.samples(id) {
+                            continue;
+                        }
+                        match sw.and_then(|sw| query_evidence(sw, &p.netchain)) {
+                            Some(ev) => tracer.sink.stamp_with(id, hop_ip, at_ns, ev),
+                            None => tracer.sink.stamp(id, hop_ip, at_ns),
+                        }
                     }
                 }
                 match target.and_then(|ip| self.switches.get_mut(&ip)) {

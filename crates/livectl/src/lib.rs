@@ -44,6 +44,6 @@ pub mod script;
 pub use control::{apply as apply_control, ControlCmd, ControlEvt};
 pub use detector::{Anomaly, DetectorConfig, GrayFailureDetector};
 pub use replay::{replay_agent_config, ReplayFabric};
-pub use report::{FailoverTimeline, LiveReport};
+pub use report::{FailoverTimeline, LiveAnomaly, LiveReport};
 pub use runner::{run_live_controlled, run_live_observed, LiveConfig};
 pub use script::FaultScript;

@@ -3,8 +3,36 @@
 
 use crate::detector::Anomaly;
 use netchain_fabric::{ClientReport, ShardStats};
-use netchain_telemetry::{HistSnapshot, Journal, PacketTrace, TraceSummary};
+use netchain_telemetry::{HistSnapshot, Journal, PacketTrace, TraceSummary, Violation};
 use std::time::Duration;
+
+/// Anything the live monitor flagged during the run: a statistical gray
+/// failure (one shard quietly degrading) or a consistency violation the
+/// shadow auditor caught in the sampled trace stream. Both also produce
+/// flight-recorder dumps in the artifact dir.
+#[derive(Debug, Clone)]
+pub enum LiveAnomaly {
+    /// A gray-failure verdict from the [`crate::GrayFailureDetector`].
+    Gray(Anomaly),
+    /// A chain-invariant violation from the online
+    /// [`netchain_telemetry::ShadowAuditor`].
+    Audit(Violation),
+}
+
+impl LiveAnomaly {
+    /// One-line human description.
+    pub fn describe(&self) -> String {
+        match self {
+            LiveAnomaly::Gray(a) => a.describe(),
+            LiveAnomaly::Audit(v) => v.describe(),
+        }
+    }
+
+    /// True for shadow-auditor consistency violations.
+    pub fn is_audit(&self) -> bool {
+        matches!(self, LiveAnomaly::Audit(_))
+    }
+}
 
 /// When each control-plane phase happened, as offsets from run start, plus
 /// the measured rule-installation latency.
@@ -82,9 +110,10 @@ pub struct LiveReport {
     pub traces: Vec<PacketTrace>,
     /// The controller's phase timeline (present when a fault script ran).
     pub timeline: Option<FailoverTimeline>,
-    /// Gray failures the live monitor flagged (empty in a healthy run; each
-    /// one also produced a flight-recorder dump in the artifact dir).
-    pub anomalies: Vec<Anomaly>,
+    /// Everything the live monitor flagged — gray failures and shadow-audit
+    /// consistency violations (empty in a healthy run; each one also
+    /// produced a flight-recorder dump in the artifact dir).
+    pub anomalies: Vec<LiveAnomaly>,
     /// The monitor's journal: one instant per flagged anomaly.
     pub ops_journal: Journal,
 }

@@ -18,8 +18,8 @@
 //!   while untouched groups keep serving.
 
 use crate::control::{self, ControlCmd, ControlEvt};
-use crate::detector::{Anomaly, DetectorConfig, GrayFailureDetector};
-use crate::report::{FailoverTimeline, LiveReport};
+use crate::detector::{DetectorConfig, GrayFailureDetector};
+use crate::report::{FailoverTimeline, LiveAnomaly, LiveReport};
 use crate::script::FaultScript;
 use netchain_core::failplan::{self, FailoverPlan, RecoveryPlan};
 use netchain_core::{AgentConfig, HashRing};
@@ -28,8 +28,8 @@ use netchain_fabric::{
 };
 use netchain_sim::{SimDuration, SimTime};
 use netchain_telemetry::{
-    merge_traces, FlightRecorder, HistSnapshot, Journal, Json, TimeSeries, WindowChannel,
-    WindowRegistry,
+    merge_traces, FlightRecorder, HistSnapshot, Journal, Json, PacketTrace, ShadowAuditor,
+    TimeSeries, WindowChannel, WindowRegistry,
 };
 use netchain_wire::{BatchEncoder, Ipv4Addr};
 use std::collections::VecDeque;
@@ -287,8 +287,10 @@ pub fn run_live_controlled(config: LiveConfig) -> LiveReport {
 /// [`run_live_controlled`] with caller-supplied observation windows: every
 /// shard worker records its per-slice ops / blocked / queue depth into
 /// `windows`, and a monitor thread runs the [`GrayFailureDetector`] over
-/// each completed slice, journaling anomalies and dumping the flight
-/// recorder to the artifact dir when one fires.
+/// each completed slice **and** a [`ShadowAuditor`] over every completed
+/// trace the clients hand it, journaling anomalies and dumping the flight
+/// recorder to the artifact dir when one fires. Consistency violations
+/// surface as [`LiveAnomaly::Audit`] entries in `LiveReport::anomalies`.
 pub fn run_live_observed(config: LiveConfig, windows: WindowRegistry) -> LiveReport {
     let fabric = config.fabric;
     assert_eq!(
@@ -470,6 +472,11 @@ pub fn run_live_observed(config: LiveConfig, windows: WindowRegistry) -> LiveRep
         shard_handles.push(handle);
     }
 
+    // Completed traces stream from the clients to the monitor's shadow
+    // auditor over an unbounded channel: clients never block on it, and the
+    // monitor drains at its own slice cadence.
+    let (audit_tx, audit_rx) = std::sync::mpsc::channel::<PacketTrace>();
+
     // Duration-driven, retrying, slice-accounting clients.
     let mut client_handles = Vec::new();
     for c in 0..fabric.num_clients {
@@ -478,6 +485,7 @@ pub fn run_live_observed(config: LiveConfig, windows: WindowRegistry) -> LiveRep
         let ring_clone = ring_def.clone();
         let done = Arc::clone(&done_clients);
         let exited = Arc::clone(&client_done);
+        let audit_feed = audit_tx.clone();
         let cfg = config;
         let handle = std::thread::Builder::new()
             .name(format!("livectl-client-{c}"))
@@ -536,9 +544,14 @@ pub fn run_live_observed(config: LiveConfig, windows: WindowRegistry) -> LiveRep
                             }
                         }
                     }
-                    // Retransmission timers.
+                    // Retransmission timers, and a trace hand-off to the
+                    // shadow auditor at the same cadence (a closed channel
+                    // just means the monitor has already gone home).
                     if now >= next_retry_poll {
                         next_retry_poll = now + cfg.retry_timeout / 2;
+                        for trace in client.take_finished_traces() {
+                            let _ = audit_feed.send(trace);
+                        }
                         for pkt in client.poll_retries_at(now_st) {
                             let s = cfg.fabric.shard_of(&ring_clone, &pkt.netchain.key);
                             let frame = Frame::from_packet(&pkt).expect("queries fit in a frame");
@@ -562,6 +575,12 @@ pub fn run_live_observed(config: LiveConfig, windows: WindowRegistry) -> LiveRep
                 }
                 exited[c].store(true, Ordering::Release);
                 done.fetch_add(1, Ordering::Release);
+                // Final drain: everything that completed since the last poll
+                // still reaches the auditor; what's left in `take_traces` is
+                // the open (never-acked) remainder.
+                for trace in client.take_finished_traces() {
+                    let _ = audit_feed.send(trace);
+                }
                 let latency = client.latency_snapshot();
                 let traces = client.take_traces();
                 (client.report(), slices, latency, traces)
@@ -569,9 +588,13 @@ pub fn run_live_observed(config: LiveConfig, windows: WindowRegistry) -> LiveRep
             .expect("spawn client thread");
         client_handles.push(handle);
     }
+    // The clients hold the only senders now; the channel closes itself once
+    // the last one exits.
+    drop(audit_tx);
 
     // The monitor: judges each completed window slice with the gray-failure
-    // detector while the run is live. It only reads atomics the shard
+    // detector while the run is live, and runs the shadow auditor over every
+    // completed trace the clients hand it. It only reads atomics the shard
     // workers publish, so it never perturbs the dataplane; on an anomaly it
     // journals the event and dumps its flight recorder to the artifact dir.
     let monitor_stop = Arc::new(AtomicBool::new(false));
@@ -581,16 +604,56 @@ pub fn run_live_observed(config: LiveConfig, windows: WindowRegistry) -> LiveRep
         let num_shards = fabric.num_shards;
         let slice_nanos = windows.slice_len().as_nanos().max(1) as u64;
         let nap = (windows.slice_len() / 2).max(Duration::from_micros(500));
+        // The script's transitions are consistency no-man's-land: reads
+        // issued while failover or repair rules are landing may legitimately
+        // observe either side. Widen the scripted window by a few retry
+        // rounds plus one slice so ops straddling the edges fall inside too.
+        let suppress: Vec<(u64, u64)> = config
+            .script
+            .as_ref()
+            .map(|script| {
+                let slack = config.retry_timeout * 4 + config.slice;
+                let start = script.kill_at.saturating_sub(slack);
+                let end = script.repair_ends_at() + slack;
+                vec![(start.as_nanos() as u64, end.as_nanos() as u64)]
+            })
+            .unwrap_or_default();
         std::thread::Builder::new()
             .name("livectl-monitor".to_string())
             .spawn(move || {
                 let mut detector = GrayFailureDetector::new(num_shards, DetectorConfig::default());
+                let mut shadow = ShadowAuditor::new(suppress);
+                let mut audited: Vec<PacketTrace> = Vec::new();
                 let mut journal = Journal::new();
                 let recorder = FlightRecorder::new(FLIGHT_CAPACITY);
-                let mut anomalies: Vec<Anomaly> = Vec::new();
+                let mut anomalies: Vec<LiveAnomaly> = Vec::new();
                 let mut next = 0u64;
                 loop {
                     let stopping = stop.load(Ordering::Acquire);
+                    // Shadow audit first: ingest whatever completed since the
+                    // last wake-up. The traces come back out of this thread
+                    // so the report's merged trace set stays whole.
+                    while let Ok(trace) = audit_rx.try_recv() {
+                        shadow.ingest(&trace);
+                        audited.push(trace);
+                    }
+                    for violation in shadow.take_violations() {
+                        let at_ns = violation.at_ns;
+                        journal.instant(format!("audit:{}", violation.kind.label()), at_ns);
+                        recorder.record(
+                            at_ns,
+                            "audit.violation",
+                            vec![("violation", violation.to_json())],
+                        );
+                        if let Some(path) = recorder.dump("livectl_audit") {
+                            eprintln!(
+                                "livectl: {} — flight dump at {}",
+                                violation.describe(),
+                                path.display()
+                            );
+                        }
+                        anomalies.push(LiveAnomaly::Audit(violation));
+                    }
                     // Judge slices strictly before the current one — the
                     // current slice is still filling and would read as a
                     // universal dip. On shutdown, judge the last one too.
@@ -628,7 +691,7 @@ pub fn run_live_observed(config: LiveConfig, windows: WindowRegistry) -> LiveRep
                                     path.display()
                                 );
                             }
-                            anomalies.push(anomaly);
+                            anomalies.push(LiveAnomaly::Gray(anomaly));
                         }
                     }
                     if stopping {
@@ -636,7 +699,7 @@ pub fn run_live_observed(config: LiveConfig, windows: WindowRegistry) -> LiveRep
                     }
                     std::thread::sleep(nap);
                 }
-                (journal, anomalies)
+                (journal, anomalies, audited)
             })
             .expect("spawn monitor thread")
     };
@@ -677,7 +740,10 @@ pub fn run_live_observed(config: LiveConfig, windows: WindowRegistry) -> LiveRep
     // All window writers have exited; let the monitor judge the final slice
     // and hand back its journal.
     monitor_stop.store(true, Ordering::Release);
-    let (ops_journal, anomalies) = monitor.join().expect("monitor thread panicked");
+    let (ops_journal, anomalies, audited_traces) = monitor.join().expect("monitor thread panicked");
+    // Completed traces detoured through the auditor; fold them back in so
+    // the merged trace set is exactly what an unaudited run would report.
+    trace_fragments.extend(audited_traces);
     let completed_ops: u64 = clients.iter().map(|c| c.completed).sum();
     LiveReport {
         elapsed,

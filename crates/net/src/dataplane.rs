@@ -243,6 +243,8 @@ pub struct NetDataplane {
     workers: Vec<Worker>,
     routes: Arc<RwLock<HashMap<Ipv4Addr, SocketAddr>>>,
     shutdown: Arc<AtomicBool>,
+    /// Wall-clock origin every worker's trace stamps are relative to.
+    epoch: std::time::Instant,
 }
 
 impl NetDataplane {
@@ -288,7 +290,15 @@ impl NetDataplane {
             workers,
             routes,
             shutdown,
+            epoch: t0,
         })
+    }
+
+    /// The wall-clock origin of the dataplane's trace stamps. Client-side
+    /// stampers (the open-loop generator) must use the same origin so merged
+    /// hop sequences are comparable across threads and processes.
+    pub fn epoch(&self) -> std::time::Instant {
+        self.epoch
     }
 
     /// The ring shared with clients.

@@ -30,7 +30,7 @@ use mmsg::{RecvQueue, SendQueue, MAX_BURST};
 use netchain_core::AgentConfig;
 use netchain_fabric::{client_id_of, ClientState, WorkloadSpec};
 use netchain_sim::{SimDuration, SimTime};
-use netchain_telemetry::HistSnapshot;
+use netchain_telemetry::{HistSnapshot, PacketTrace, TraceConfig};
 use netchain_wire::{Ipv4Addr, MAX_FRAME_LEN};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -58,6 +58,10 @@ pub struct OpenLoopConfig {
     /// How long past the issue window to keep draining replies and driving
     /// retries before declaring the leftovers lost.
     pub drain_grace: Duration,
+    /// Client-side in-band tracing: sampled ops get issue/ack evidence
+    /// stamps on the dataplane's shared clock, returned in
+    /// [`OpenLoopReport::traces`]. `None` keeps the generator allocation-free.
+    pub trace: Option<TraceConfig>,
 }
 
 impl OpenLoopConfig {
@@ -77,6 +81,7 @@ impl OpenLoopConfig {
             agent_timeout: SimDuration::from_millis(100),
             agent_max_retries: 8,
             drain_grace: Duration::from_millis(500),
+            trace: None,
         }
     }
 }
@@ -109,6 +114,10 @@ pub struct OpenLoopReport {
     pub latency: HistSnapshot,
     /// Wall-clock span of the issue window.
     pub elapsed: Duration,
+    /// Client-side trace fragments (issue/ack evidence), empty unless
+    /// [`OpenLoopConfig::trace`] was set. Merge with the dataplane's
+    /// `NetReport::traces` for full per-hop paths.
+    pub traces: Vec<PacketTrace>,
 }
 
 /// Runs an open-loop workload against `plane` and returns the merged report.
@@ -152,8 +161,9 @@ pub fn run_open_loop(
         version_regressions: 0,
         latency: HistSnapshot::empty(),
         elapsed,
+        traces: Vec::new(),
     };
-    for outcome in &thread_outcomes {
+    for outcome in thread_outcomes {
         report.issued += outcome.issued;
         report.completed += outcome.completed;
         report.ok += outcome.ok;
@@ -163,6 +173,7 @@ pub fn run_open_loop(
         report.stale_replies += outcome.stale_replies;
         report.version_regressions += outcome.version_regressions;
         report.latency.merge(&outcome.latency);
+        report.traces.extend(outcome.traces);
     }
     report.achieved_rate = report.completed as f64 / config.duration.as_secs_f64();
     report
@@ -179,6 +190,7 @@ struct ThreadOutcome {
     stale_replies: u64,
     version_regressions: u64,
     latency: HistSnapshot,
+    traces: Vec<PacketTrace>,
 }
 
 /// Draws the next exponential inter-arrival gap (nanoseconds) of a Poisson
@@ -220,7 +232,11 @@ fn generator_thread(
                 ..spec
             };
             plane.register_client(Ipv4Addr::for_host(id), local_addr);
-            ClientState::with_agent_config(id, plane.ring(), spec, agent_config)
+            let mut client = ClientState::with_agent_config(id, plane.ring(), spec, agent_config);
+            if let Some(tc) = config.trace {
+                client.enable_tracing(tc);
+            }
+            client
         })
         .collect();
 
@@ -230,11 +246,17 @@ fn generator_thread(
     let mut frame_buf = [0u8; MAX_FRAME_LEN];
     let mut outcome = ThreadOutcome::default();
 
-    let epoch = Instant::now();
-    let end_ns = config.duration.as_nanos() as u64;
+    // All clocks are relative to the *dataplane's* epoch, not a thread-local
+    // Instant: shard workers stamp trace evidence on that origin, and the
+    // auditor compares client issue/ack times across threads — a per-thread
+    // epoch would skew them by the spawn staggering. The schedule itself is
+    // shifted to the absolute timeline by `base_ns`.
+    let epoch = plane.epoch();
+    let base_ns = epoch.elapsed().as_nanos() as u64;
+    let end_ns = base_ns + config.duration.as_nanos() as u64;
     let hard_end_ns = end_ns + config.drain_grace.as_nanos() as u64;
-    let mut next_issue_ns = exp_gap_ns(&mut rng, rate);
-    let mut next_retry_poll_ns = 0u64;
+    let mut next_issue_ns = base_ns + exp_gap_ns(&mut rng, rate);
+    let mut next_retry_poll_ns = base_ns;
     loop {
         let now_ns = epoch.elapsed().as_nanos() as u64;
 
@@ -365,6 +387,7 @@ fn generator_thread(
         outcome.stale_replies += client.agent_stats().stale_replies;
         outcome.version_regressions += report.version_regressions;
         outcome.latency.merge(&client.latency_snapshot());
+        outcome.traces.extend(client.take_traces());
         plane.deregister_client(Ipv4Addr::for_host(client.id()));
     }
     outcome

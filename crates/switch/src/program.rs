@@ -15,7 +15,7 @@ use crate::kv::SwitchKvStore;
 use crate::pipeline::PipelineConfig;
 use crate::stats::{ProbeGauges, SwitchStats};
 use netchain_wire::{
-    BatchEncoder, Ipv4Addr, NetChainPacket, OpCode, QueryStatus, StatSnapshot, Value,
+    BatchEncoder, Ipv4Addr, Key, NetChainPacket, OpCode, QueryStatus, StatSnapshot, Value,
 };
 
 /// Why a switch dropped a packet.
@@ -64,6 +64,10 @@ pub enum StagedPacket<'a> {
         frame: &'a [u8],
         /// Stage-3 probe result: the key's register slot, if indexed.
         slot: Option<usize>,
+        /// The queried key, kept alongside the probed slot so observers
+        /// (trace evidence stamps) can fingerprint the read without
+        /// re-parsing the frame.
+        key: Key,
         /// The querying client's IP (the frame's IPv4 source).
         client: Ipv4Addr,
         /// The query's request id.
@@ -269,6 +273,7 @@ impl NetChainSwitch {
                 StagedPacket::FastRead {
                     frame,
                     slot,
+                    key: _,
                     client,
                     request_id,
                 } => {
@@ -1034,6 +1039,7 @@ mod tests {
                     StagedPacket::FastRead {
                         frame: f.as_slice(),
                         slot: staged.kv().lookup(&p.netchain.key),
+                        key: p.netchain.key,
                         client: p.ip.src,
                         request_id: p.netchain.request_id,
                     }

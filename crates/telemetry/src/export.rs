@@ -14,7 +14,10 @@ use std::path::PathBuf;
 
 use crate::hist::Quantiles;
 use crate::journal::Journal;
-use crate::trace::{ip_to_string, path_to_string, TraceSummary};
+use crate::trace::{
+    ip_to_string, path_to_string, Evidence, EvidenceOp, HopRole, HopStamp, PacketTrace,
+    TraceSummary,
+};
 
 /// A JSON value. The repo builds without serde (offline, no new deps), so
 /// this mirrors the hand-rolled rendering already used by
@@ -106,6 +109,20 @@ impl Json {
         match self {
             Json::U64(v) => Some(*v as f64),
             Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64`. Unlike [`Json::as_f64`] this never
+    /// rounds: trace IDs routinely exceed 2^53 and would lose their low
+    /// bits through a double. Integral non-negative floats in the exact
+    /// range still convert (a lenient producer may have written `3.0`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::F64(v) if *v >= 0.0 && *v <= (1u64 << 53) as f64 && v.fract() == 0.0 => {
+                Some(*v as u64)
+            }
             _ => None,
         }
     }
@@ -457,6 +474,137 @@ impl From<&TraceSummary> for Json {
     }
 }
 
+/// Version of the per-trace JSONL record format.
+///
+/// * **1** — hops are bare `(ip, at_ns)` pairs (pre-evidence producers).
+/// * **2** — hops may carry an evidence payload (`op`, `role`, `ok`,
+///   `key_fp`, `session`, `seq`).
+///
+/// [`trace_from_json`] accepts 1 and 2 (a missing `schema` field reads as 1)
+/// and rejects anything higher, so old artifacts stay decodable and future
+/// bumps fail loudly instead of mis-parsing.
+pub const TRACE_SCHEMA: u64 = 2;
+
+/// Renders one [`PacketTrace`] as the fields of a `"trace"` JSONL record
+/// (schema [`TRACE_SCHEMA`]). Pass straight to [`ArtifactWriter::record`].
+pub fn trace_record_fields(t: &PacketTrace) -> Vec<(&'static str, Json)> {
+    let hops = t
+        .hops
+        .iter()
+        .map(|h| {
+            let mut pairs = vec![
+                ("ip", Json::U64(u64::from(h.hop_ip))),
+                ("at_ns", Json::U64(h.at_ns)),
+            ];
+            if let Some(ev) = &h.evidence {
+                pairs.push(("op", Json::str(ev.op.label())));
+                pairs.push(("role", Json::str(ev.role.label())));
+                pairs.push(("ok", Json::Bool(ev.ok)));
+                pairs.push(("key_fp", Json::U64(u64::from(ev.key_fp))));
+                pairs.push(("session", Json::U64(ev.session)));
+                pairs.push(("seq", Json::U64(ev.seq)));
+            }
+            Json::obj(pairs)
+        })
+        .collect();
+    vec![
+        ("schema", Json::U64(TRACE_SCHEMA)),
+        ("id", Json::U64(t.id)),
+        ("hops", Json::Arr(hops)),
+    ]
+}
+
+/// Decodes a `"trace"` record object back into a [`PacketTrace`].
+///
+/// Schema 1 records (or records with no `schema` field) decode with
+/// `evidence: None` on every hop; schema 2 records restore the evidence
+/// payload; higher schemas are rejected with an error naming the version so
+/// consumers can count and skip them instead of panicking.
+pub fn trace_from_json(rec: &Json) -> Result<PacketTrace, String> {
+    let schema = rec.get("schema").and_then(Json::as_u64).unwrap_or(1);
+    if schema > TRACE_SCHEMA {
+        return Err(format!(
+            "unsupported trace schema {schema} (this decoder understands <= {TRACE_SCHEMA})"
+        ));
+    }
+    let id = rec
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or("trace record has no numeric 'id'")?;
+    let Some(Json::Arr(hops)) = rec.get("hops") else {
+        return Err("trace record has no 'hops' array".to_string());
+    };
+    let mut out = Vec::with_capacity(hops.len());
+    for h in hops {
+        let ip = h
+            .get("ip")
+            .and_then(Json::as_u64)
+            .ok_or("hop has no numeric 'ip'")? as u32;
+        let at_ns = h
+            .get("at_ns")
+            .and_then(Json::as_u64)
+            .ok_or("hop has no numeric 'at_ns'")?;
+        let evidence = if schema >= 2 {
+            match (h.get("role").and_then(Json::as_str), h.get("op")) {
+                (Some(role_label), Some(op)) => {
+                    let role = HopRole::from_label(role_label)
+                        .ok_or_else(|| format!("unknown hop role '{role_label}'"))?;
+                    Some(Evidence {
+                        op: EvidenceOp::from_label(op.as_str().unwrap_or("other")),
+                        role,
+                        ok: matches!(h.get("ok"), Some(Json::Bool(true))),
+                        key_fp: h.get("key_fp").and_then(Json::as_u64).unwrap_or(0) as u32,
+                        session: h.get("session").and_then(Json::as_u64).unwrap_or(0),
+                        seq: h.get("seq").and_then(Json::as_u64).unwrap_or(0),
+                    })
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        out.push(HopStamp {
+            hop_ip: ip,
+            at_ns,
+            evidence,
+        });
+    }
+    Ok(PacketTrace { id, hops: out })
+}
+
+/// Reconstructs a [`Journal`] from its [`Json`] form (the inverse of
+/// `From<&Journal>`), so offline consumers can recover failover/repair spans
+/// from `"spans"` records.
+pub fn journal_from_json(doc: &Json) -> Journal {
+    let mut journal = Journal::new();
+    if let Some(Json::Arr(instants)) = doc.get("instants") {
+        for i in instants {
+            if let (Some(name), Some(at)) = (
+                i.get("name").and_then(Json::as_str),
+                i.get("at_ns").and_then(Json::as_u64),
+            ) {
+                journal.instant(name, at);
+            }
+        }
+    }
+    if let Some(Json::Arr(spans)) = doc.get("spans") {
+        for s in spans {
+            if let (Some(name), Some(start)) = (
+                s.get("name").and_then(Json::as_str),
+                s.get("start_ns").and_then(Json::as_u64),
+            ) {
+                match s.get("end_ns").and_then(Json::as_u64) {
+                    Some(end) => journal.span(name, start, end),
+                    None => {
+                        journal.begin(name, start);
+                    }
+                }
+            }
+        }
+    }
+    journal
+}
+
 /// Where artifacts land: `$NETCHAIN_ARTIFACT_DIR` if set, else the current
 /// directory.
 pub fn artifact_dir() -> PathBuf {
@@ -641,6 +789,65 @@ mod tests {
         let text = Json::from(&j).render();
         assert!(text.contains("\"name\":\"kill\""));
         assert!(text.contains("\"duration_ns\":30"));
+    }
+
+    #[test]
+    fn trace_records_round_trip_with_evidence() {
+        let trace = PacketTrace {
+            id: 42,
+            hops: vec![
+                HopStamp::plain(1, 100),
+                HopStamp {
+                    hop_ip: 2,
+                    at_ns: 200,
+                    evidence: Some(Evidence {
+                        op: EvidenceOp::Write,
+                        role: HopRole::Head,
+                        ok: true,
+                        key_fp: 0xdead_beef,
+                        session: 3,
+                        seq: 9,
+                    }),
+                },
+            ],
+        };
+        let rec = Json::obj(trace_record_fields(&trace));
+        let parsed = trace_from_json(&Json::parse(&rec.render()).unwrap()).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn trace_decoder_accepts_schema_one_and_rejects_future_schemas() {
+        // A schema-1 record (no schema field, bare hops) still decodes.
+        let v1 =
+            Json::parse(r#"{"id":7,"hops":[{"ip":1,"at_ns":10},{"ip":2,"at_ns":20}]}"#).unwrap();
+        let t = trace_from_json(&v1).unwrap();
+        assert_eq!(t.id, 7);
+        assert!(t.hops.iter().all(|h| h.evidence.is_none()));
+        // Evidence fields present but schema says 1: evidence is ignored
+        // (a v1 decoder contract — those fields did not exist).
+        let v1_extra = Json::parse(
+            r#"{"schema":1,"id":7,"hops":[{"ip":1,"at_ns":10,"role":"head","op":"write"}]}"#,
+        )
+        .unwrap();
+        assert!(trace_from_json(&v1_extra).unwrap().hops[0]
+            .evidence
+            .is_none());
+        // A future schema is rejected with the version named, not mis-read.
+        let v9 = Json::parse(r#"{"schema":9,"id":7,"hops":[]}"#).unwrap();
+        let err = trace_from_json(&v9).unwrap_err();
+        assert!(err.contains("schema 9"), "{err}");
+    }
+
+    #[test]
+    fn journal_round_trips_through_json() {
+        let mut j = Journal::new();
+        j.instant("killed", 10);
+        j.span("repair", 20, 50);
+        j.begin("open-phase", 60);
+        let back = journal_from_json(&Json::parse(&Json::from(&j).render()).unwrap());
+        assert_eq!(back.instants(), j.instants());
+        assert_eq!(back.spans(), j.spans());
     }
 
     #[test]

@@ -27,7 +27,13 @@
 //!   gray-failure detector.
 //! * [`flight`] — a bounded [`FlightRecorder`] ring of recent events, dumped
 //!   to the artifact dir (`FLIGHT_<name>.jsonl`) on anomaly or smoke failure.
+//! * [`audit`] — the chain auditor: reconstructs per-key version histories
+//!   from [`trace::Evidence`]-carrying traces plus the [`Journal`] and checks
+//!   chain-replication invariants (monotone replicas, head→tail order, read
+//!   freshness, durability across repair), offline ([`audit::audit`]) and
+//!   online ([`ShadowAuditor`]).
 
+pub mod audit;
 pub mod export;
 pub mod flight;
 pub mod hist;
@@ -36,14 +42,18 @@ pub mod metrics;
 pub mod trace;
 pub mod window;
 
-pub use export::{artifact_dir, ArtifactWriter, Json};
+pub use audit::{audit, AuditConfig, AuditReport, ShadowAuditor, Violation, ViolationKind};
+pub use export::{
+    artifact_dir, journal_from_json, trace_from_json, trace_record_fields, ArtifactWriter, Json,
+    TRACE_SCHEMA,
+};
 pub use flight::FlightRecorder;
 pub use hist::{HistBucket, HistSnapshot, LatencyHistogram, Quantiles};
 pub use journal::{Journal, Span, SpanHandle};
 pub use metrics::{sum_metrics, LiveCounters, Metrics, TimeSeries};
 pub use trace::{
-    ip_to_string, merge_traces, path_to_string, trace_id, HopStamp, PacketTrace, TraceConfig,
-    TraceSink, TraceSummary,
+    ip_to_string, key_fingerprint, merge_traces, path_to_string, trace_id, Evidence, EvidenceOp,
+    HopRole, HopStamp, PacketTrace, TraceConfig, TraceSink, TraceSummary,
 };
 pub use window::{
     RollingWindow, SliceCounters, WindowChannel, WindowRegistry, ALL_CHANNELS, WINDOW_CHANNELS,

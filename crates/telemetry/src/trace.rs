@@ -74,6 +74,170 @@ pub fn trace_id(src_ip: u32, request_id: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The operation class a hop observed, as recorded in [`Evidence`]. Coarser
+/// than the wire `OpCode` (replies fold onto their query op) so the
+/// telemetry crate stays dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvidenceOp {
+    /// A read query (or its reply).
+    Read,
+    /// A write or insert.
+    Write,
+    /// A compare-and-swap.
+    Cas,
+    /// A delete.
+    Delete,
+    /// Anything else (stat probes, unknown future ops).
+    Other,
+}
+
+impl EvidenceOp {
+    /// Short wire label used in trace exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EvidenceOp::Read => "read",
+            EvidenceOp::Write => "write",
+            EvidenceOp::Cas => "cas",
+            EvidenceOp::Delete => "delete",
+            EvidenceOp::Other => "other",
+        }
+    }
+
+    /// Inverse of [`EvidenceOp::label`]; unknown labels map to `Other` so
+    /// newer producers stay readable.
+    pub fn from_label(s: &str) -> Self {
+        match s {
+            "read" => EvidenceOp::Read,
+            "write" => EvidenceOp::Write,
+            "cas" => EvidenceOp::Cas,
+            "delete" => EvidenceOp::Delete,
+            _ => EvidenceOp::Other,
+        }
+    }
+
+    /// True for ops that mutate chain state (write/CAS/delete).
+    pub fn is_mutation(self) -> bool {
+        matches!(
+            self,
+            EvidenceOp::Write | EvidenceOp::Cas | EvidenceOp::Delete
+        )
+    }
+}
+
+/// Where in the chain a stamped hop sat when it observed the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HopRole {
+    /// The client, at query issue time.
+    ClientIssue,
+    /// The chain head (first hop of a mutation; assigns the sequence).
+    Head,
+    /// A mid-chain replica.
+    Replica,
+    /// The chain tail (generates the reply).
+    Tail,
+    /// A single-switch chain: head and tail at once.
+    Solo,
+    /// The client, at reply-absorption time.
+    ClientAck,
+}
+
+impl HopRole {
+    /// Short wire label used in trace exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            HopRole::ClientIssue => "issue",
+            HopRole::Head => "head",
+            HopRole::Replica => "mid",
+            HopRole::Tail => "tail",
+            HopRole::Solo => "solo",
+            HopRole::ClientAck => "ack",
+        }
+    }
+
+    /// Inverse of [`HopRole::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "issue" => HopRole::ClientIssue,
+            "head" => HopRole::Head,
+            "mid" => HopRole::Replica,
+            "tail" => HopRole::Tail,
+            "solo" => HopRole::Solo,
+            "ack" => HopRole::ClientAck,
+            _ => return None,
+        })
+    }
+
+    /// Chain position of a switch handling a query, derived from fields the
+    /// packet already carries. Reads are answered wherever they are
+    /// addressed (any remaining chain hops are failover alternates, not a
+    /// forwarding path), so every read hop is a tail. For mutations, no
+    /// sequence assigned yet means the hop is the head, and an empty
+    /// remaining chain means it generates the reply (tail). Every execution
+    /// mode derives roles through this one function so the auditor sees
+    /// consistent evidence.
+    pub fn for_query(is_mutation: bool, seq_is_zero: bool, chain_is_empty: bool) -> HopRole {
+        if !is_mutation {
+            return HopRole::Tail;
+        }
+        match (seq_is_zero, chain_is_empty) {
+            (true, true) => HopRole::Solo,
+            (true, false) => HopRole::Head,
+            (false, true) => HopRole::Tail,
+            (false, false) => HopRole::Replica,
+        }
+    }
+
+    /// True if this hop could have been the chain head (sequence assigner).
+    pub fn acts_as_head(self) -> bool {
+        matches!(self, HopRole::Head | HopRole::Solo)
+    }
+
+    /// True if this hop could have been the chain tail (reply generator).
+    pub fn acts_as_tail(self) -> bool {
+        matches!(self, HopRole::Tail | HopRole::Solo)
+    }
+}
+
+/// Folds a 64-bit stable key hash into the 32-bit fingerprint carried in
+/// [`Evidence`]. XOR-folding keeps both halves contributing, so fingerprints
+/// of sequential keys stay distinct.
+#[inline]
+pub fn key_fingerprint(stable_hash: u64) -> u32 {
+    (stable_hash ^ (stable_hash >> 32)) as u32
+}
+
+/// What a hop semantically observed when it stamped a sampled packet: the
+/// operation, which key it touched (as a fingerprint), and the value of the
+/// per-key version register `(session, seq)` at that hop *before* the
+/// operation executed. Client stamps instead carry the version the reply
+/// returned (ack) or zeros (issue). This is the payload the chain auditor
+/// reconstructs per-key version histories from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evidence {
+    /// Operation class.
+    pub op: EvidenceOp,
+    /// Chain position of the stamping hop.
+    pub role: HopRole,
+    /// Switch hops: the key was present (register slot valid). Client ack:
+    /// the reply status was `Ok`.
+    pub ok: bool,
+    /// 32-bit fingerprint of the key ([`key_fingerprint`]).
+    pub key_fp: u32,
+    /// Session half of the observed version register.
+    pub session: u64,
+    /// Sequence half of the observed version register.
+    pub seq: u64,
+}
+
+impl Evidence {
+    /// The observed version as the lexicographic `(session, seq)` tuple the
+    /// chain orders writes by.
+    #[inline]
+    pub fn version(&self) -> (u64, u64) {
+        (self.session, self.seq)
+    }
+}
+
 /// One timestamped visit to a hop. The hop is identified by the big-endian
 /// `u32` form of its IPv4 address (unit-friendly: no dependency on the wire
 /// crate).
@@ -83,6 +247,20 @@ pub struct HopStamp {
     pub hop_ip: u32,
     /// Stamp time in nanoseconds (sim time or wall-clock since run start).
     pub at_ns: u64,
+    /// Semantic payload, when the stamping hop recorded one. Plain
+    /// `(ip, time)` stamps (schema-1 producers, transit hops) carry `None`.
+    pub evidence: Option<Evidence>,
+}
+
+impl HopStamp {
+    /// A bare stamp with no evidence payload.
+    pub fn plain(hop_ip: u32, at_ns: u64) -> Self {
+        HopStamp {
+            hop_ip,
+            at_ns,
+            evidence: None,
+        }
+    }
 }
 
 /// The recorded path of one sampled query.
@@ -135,6 +313,27 @@ impl TraceSink {
     /// Records a hop visit for `id` (no-op if the ID is not sampled).
     #[inline]
     pub fn stamp(&mut self, id: u64, hop_ip: u32, at_ns: u64) {
+        self.push(id, HopStamp::plain(hop_ip, at_ns));
+    }
+
+    /// Records a hop visit carrying semantic [`Evidence`]. Callers should
+    /// check [`TraceSink::samples`] first and only then pay for gathering the
+    /// evidence (register reads, key hashing) — this keeps unsampled packets
+    /// free even with tracing on.
+    #[inline]
+    pub fn stamp_with(&mut self, id: u64, hop_ip: u32, at_ns: u64, evidence: Evidence) {
+        self.push(
+            id,
+            HopStamp {
+                hop_ip,
+                at_ns,
+                evidence: Some(evidence),
+            },
+        );
+    }
+
+    #[inline]
+    fn push(&mut self, id: u64, stamp: HopStamp) {
         if !self.config.samples(id) {
             return;
         }
@@ -145,7 +344,7 @@ impl TraceSink {
                 hops: Vec::with_capacity(4),
             })
             .hops
-            .push(HopStamp { hop_ip, at_ns });
+            .push(stamp);
     }
 
     /// Marks `id` complete, moving it to the finished set.
@@ -175,6 +374,14 @@ impl TraceSink {
     /// Number of completed traces currently held.
     pub fn finished(&self) -> usize {
         self.done.len()
+    }
+
+    /// Takes only the *completed* traces, leaving still-open ones in place.
+    /// This is what a live shadow consumer (the online auditor) drains
+    /// periodically: completed traces are final and safe to judge, open ones
+    /// may still gain hops.
+    pub fn take_finished(&mut self) -> Vec<PacketTrace> {
+        std::mem::take(&mut self.done)
     }
 }
 
@@ -346,29 +553,11 @@ mod tests {
     fn merge_reassembles_fragments_by_time() {
         let client = PacketTrace {
             id: 9,
-            hops: vec![
-                HopStamp {
-                    hop_ip: 1,
-                    at_ns: 0,
-                },
-                HopStamp {
-                    hop_ip: 1,
-                    at_ns: 400,
-                },
-            ],
+            hops: vec![HopStamp::plain(1, 0), HopStamp::plain(1, 400)],
         };
         let switch = PacketTrace {
             id: 9,
-            hops: vec![
-                HopStamp {
-                    hop_ip: 2,
-                    at_ns: 100,
-                },
-                HopStamp {
-                    hop_ip: 3,
-                    at_ns: 200,
-                },
-            ],
+            hops: vec![HopStamp::plain(2, 100), HopStamp::plain(3, 200)],
         };
         let merged = merge_traces(vec![switch, client]);
         assert_eq!(merged.len(), 1);
@@ -382,10 +571,7 @@ mod tests {
             hops: ips
                 .iter()
                 .enumerate()
-                .map(|(i, &ip)| HopStamp {
-                    hop_ip: ip,
-                    at_ns: (id * 1000) + i as u64 * 100,
-                })
+                .map(|(i, &ip)| HopStamp::plain(ip, (id * 1000) + i as u64 * 100))
                 .collect(),
         };
         let traces = vec![mk(1, &[10, 20, 30]), mk(2, &[10, 20, 30]), mk(3, &[10, 30])];
@@ -413,6 +599,92 @@ mod tests {
         }
         assert_eq!(sink.finished(), 2);
         assert_eq!(sink.drain().len(), 2);
+    }
+
+    #[test]
+    fn evidence_stamps_ride_alongside_plain_ones() {
+        let mut sink = TraceSink::new(TraceConfig::sampled(0, 8));
+        sink.stamp(3, 1, 10);
+        sink.stamp_with(
+            3,
+            2,
+            20,
+            Evidence {
+                op: EvidenceOp::Write,
+                role: HopRole::Head,
+                ok: true,
+                key_fp: 0xdead,
+                session: 1,
+                seq: 7,
+            },
+        );
+        sink.finish(3);
+        let traces = sink.drain();
+        assert_eq!(traces[0].hops[0].evidence, None);
+        let ev = traces[0].hops[1].evidence.unwrap();
+        assert_eq!(ev.version(), (1, 7));
+        assert!(ev.role.acts_as_head());
+        assert!(!ev.role.acts_as_tail());
+    }
+
+    #[test]
+    fn take_finished_leaves_open_traces_active() {
+        let mut sink = TraceSink::new(TraceConfig::sampled(0, 8));
+        sink.stamp(1, 9, 1);
+        sink.finish(1);
+        sink.stamp(2, 9, 2); // still open
+        let done = sink.take_finished();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, 1);
+        assert!(sink.take_finished().is_empty());
+        // The open trace can still gain hops and finish later.
+        sink.stamp(2, 10, 3);
+        sink.finish(2);
+        assert_eq!(sink.take_finished().len(), 1);
+    }
+
+    #[test]
+    fn role_derivation_covers_all_chain_positions() {
+        // Mutation, no seq yet, more hops follow: head.
+        assert_eq!(HopRole::for_query(true, true, false), HopRole::Head);
+        // Mutation mid-chain: replica; at the last hop: tail.
+        assert_eq!(HopRole::for_query(true, false, false), HopRole::Replica);
+        assert_eq!(HopRole::for_query(true, false, true), HopRole::Tail);
+        // Single-switch chain assigns the seq and replies at one hop.
+        assert_eq!(HopRole::for_query(true, true, true), HopRole::Solo);
+        // Reads go straight to the tail — even with failover alternates
+        // still listed in the chain.
+        assert_eq!(HopRole::for_query(false, true, true), HopRole::Tail);
+        assert_eq!(HopRole::for_query(false, true, false), HopRole::Tail);
+        for role in [
+            HopRole::ClientIssue,
+            HopRole::Head,
+            HopRole::Replica,
+            HopRole::Tail,
+            HopRole::Solo,
+            HopRole::ClientAck,
+        ] {
+            assert_eq!(HopRole::from_label(role.label()), Some(role));
+        }
+        assert_eq!(HopRole::from_label("bogus"), None);
+        for op in [
+            EvidenceOp::Read,
+            EvidenceOp::Write,
+            EvidenceOp::Cas,
+            EvidenceOp::Delete,
+            EvidenceOp::Other,
+        ] {
+            assert_eq!(EvidenceOp::from_label(op.label()), op);
+        }
+    }
+
+    #[test]
+    fn key_fingerprint_folds_both_halves() {
+        assert_ne!(
+            key_fingerprint(0x1111_0000_0000_0000),
+            key_fingerprint(0x2222_0000_0000_0000)
+        );
+        assert_ne!(key_fingerprint(1), key_fingerprint(2));
     }
 
     #[test]

@@ -79,7 +79,7 @@ fn frag(id: u64, hops: &[(u32, u64)]) -> PacketTrace {
         id,
         hops: hops
             .iter()
-            .map(|&(hop_ip, at_ns)| HopStamp { hop_ip, at_ns })
+            .map(|&(hop_ip, at_ns)| HopStamp::plain(hop_ip, at_ns))
             .collect(),
     }
 }

@@ -1,0 +1,91 @@
+//! Forward-compatibility pin for the in-band stat probe format: a
+//! [`StatSnapshot`] stamped with a **newer** version byte must be rejected
+//! cleanly — a typed error naming the version, never a panic and never a
+//! silent misparse of a layout this decoder does not understand. A probing
+//! dashboard counts such replies and keeps running; an old `ops_top` against
+//! a newer dataplane degrades to "no probe reply", not to garbage rates.
+
+use netchain_wire::{StatSnapshot, WireError, STAT_SNAPSHOT_LEN, STAT_VERSION};
+
+fn encoded_sample() -> [u8; STAT_SNAPSHOT_LEN] {
+    StatSnapshot {
+        reads: 12,
+        writes: 34,
+        replies: 46,
+        packets_seen: 99,
+        store_size: 7,
+        queue_depth: 3,
+        queue_cap: 32,
+        lat_buckets: [1, 2, 3, 4, 5, 6, 7, 8],
+        ..Default::default()
+    }
+    .encode()
+}
+
+#[test]
+fn current_version_round_trips() {
+    let buf = encoded_sample();
+    assert_eq!(buf[0], STAT_VERSION);
+    let snap = StatSnapshot::decode(&buf).expect("own version decodes");
+    assert_eq!(snap.reads, 12);
+    assert_eq!(snap.lat_buckets, [1, 2, 3, 4, 5, 6, 7, 8]);
+}
+
+#[test]
+fn higher_version_byte_is_rejected_with_the_version_named() {
+    // Every future version byte, including the extremes, must come back as
+    // a clean typed error carrying the offending version — that is what
+    // lets a consumer count and report "peer is newer than me".
+    for future in [STAT_VERSION + 1, STAT_VERSION + 7, u8::MAX] {
+        let mut buf = encoded_sample();
+        buf[0] = future;
+        match StatSnapshot::decode(&buf) {
+            Err(WireError::InvalidField {
+                layer: "stat",
+                field: "version",
+                value,
+            }) => assert_eq!(value, u64::from(future)),
+            other => panic!("version {future}: expected InvalidField, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn future_version_with_trailing_extension_bytes_still_rejects() {
+    // A plausible future shape: bumped version plus appended fields. The
+    // decoder must reject on the version byte, not attempt the old layout
+    // over the longer buffer.
+    let mut buf = encoded_sample().to_vec();
+    buf[0] = STAT_VERSION + 1;
+    buf.extend_from_slice(&[0xAB; 24]);
+    assert!(matches!(
+        StatSnapshot::decode(&buf),
+        Err(WireError::InvalidField {
+            layer: "stat",
+            field: "version",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn a_probing_loop_counts_rejects_without_panicking() {
+    // The consumer-side discipline the dashboard relies on: mixed replies,
+    // some newer-versioned, decode to Ok/Err with the rejects countable.
+    let good = encoded_sample();
+    let mut newer = encoded_sample();
+    newer[0] = STAT_VERSION + 1;
+    let replies = [good.as_slice(), newer.as_slice(), good.as_slice()];
+    let mut decoded = 0usize;
+    let mut too_new = 0usize;
+    for reply in replies {
+        match StatSnapshot::decode(reply) {
+            Ok(_) => decoded += 1,
+            Err(WireError::InvalidField {
+                field: "version", ..
+            }) => too_new += 1,
+            Err(other) => panic!("unexpected error shape: {other:?}"),
+        }
+    }
+    assert_eq!((decoded, too_new), (2, 1));
+}

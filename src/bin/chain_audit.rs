@@ -1,0 +1,8 @@
+//! Workspace-root alias for the offline chain-consistency audit, so
+//! `cargo run --release --bin chain_audit` works without `-p`.
+//! See `crates/experiments/src/chain_audit.rs`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(netchain_experiments::chain_audit::run_cli(&args));
+}
